@@ -1,0 +1,324 @@
+// Package rmscale is a library for measuring the scalability of
+// resource management systems (RMSs) in managed distributed systems,
+// reproducing Mitra, Maheswaran & Ali, "Measuring Scalability of
+// Resource Management Systems" (IPDPS 2005).
+//
+// The package exposes three layers:
+//
+//   - A grid simulator: a discrete-event model of a managed distributed
+//     system (resource pool in clusters, schedulers, status estimators,
+//     routed network) that accounts useful work F, RMS overhead G and
+//     RP overhead H.
+//   - Seven RMS models from the paper: CENTRAL, LOWEST, RESERVE,
+//     AUCTION, S-I, R-I and Sy-I, all implementing the Policy
+//     interface; custom policies plug in the same way.
+//   - The scalability measurement framework: the isoefficiency metric,
+//     the simulated-annealing enabler tuner, and the four-step
+//     measurement procedure producing minimal-overhead curves G(k).
+//
+// Quick start:
+//
+//	cfg := rmscale.DefaultConfig()
+//	eng, err := rmscale.NewEngine(cfg, rmscale.NewLowest())
+//	if err != nil { ... }
+//	fmt.Println(eng.Run())
+//
+// To measure scalability, implement or reuse an Evaluator and call
+// Measure, or run one of the paper's experiment cases with RunCase1
+// through RunCase4.
+package rmscale
+
+import (
+	"io"
+
+	"rmscale/internal/experiments"
+	"rmscale/internal/grid"
+	"rmscale/internal/rms"
+	"rmscale/internal/scale"
+	"rmscale/internal/sim"
+	"rmscale/internal/stats"
+	"rmscale/internal/topology"
+	"rmscale/internal/workload"
+)
+
+// Simulation layer.
+type (
+	// Config describes one grid simulation run.
+	Config = grid.Config
+	// CostModel fixes per-operation RMS costs.
+	CostModel = grid.CostModel
+	// Enablers are the tunable scaling enablers y(k).
+	Enablers = grid.Enablers
+	// Protocol fixes the RMS protocol constants (Table 1 and friends).
+	Protocol = grid.Protocol
+	// FaultModel injects resource crashes and update loss.
+	FaultModel = grid.FaultModel
+	// GridSpec lays out clusters, cluster size and estimators.
+	GridSpec = topology.GridSpec
+	// Engine is a runnable simulation.
+	Engine = grid.Engine
+	// Summary condenses a run into the paper's accounting terms.
+	Summary = grid.Summary
+	// Metrics is the full in-run accounting.
+	Metrics = grid.Metrics
+	// Policy is the RMS model interface.
+	Policy = grid.Policy
+	// Scheduler is the per-cluster decision maker handed to policies.
+	Scheduler = grid.Scheduler
+	// Message is an inter-scheduler protocol message.
+	Message = grid.Message
+	// JobCtx is the envelope a job travels in.
+	JobCtx = grid.JobCtx
+	// Substrate is the shareable topology+routing build.
+	Substrate = grid.Substrate
+	// SubstrateCache memoizes substrates for tuners.
+	SubstrateCache = grid.SubstrateCache
+)
+
+// Measurement layer.
+type (
+	// Band is the isoefficiency band.
+	Band = scale.Band
+	// Enabler is one tunable dimension of the measurement.
+	Enabler = scale.Enabler
+	// Evaluator runs the system at scale k with given enabler values.
+	Evaluator = scale.Evaluator
+	// EvaluatorFunc adapts a function to Evaluator.
+	EvaluatorFunc = scale.EvaluatorFunc
+	// Observation is one evaluation's accounting.
+	Observation = scale.Observation
+	// MeasureSpec configures the measurement procedure.
+	MeasureSpec = scale.MeasureSpec
+	// Measurement is the tuned G(k) curve with derived quantities.
+	Measurement = scale.Measurement
+	// Point is the tuned result at one scale factor.
+	Point = scale.Point
+	// IsoAnalysis carries the closed-form isoefficiency constants.
+	IsoAnalysis = scale.IsoAnalysis
+	// Variable is a named scaling variable x(k).
+	Variable = scale.Variable
+)
+
+// Reporting layer.
+type (
+	// Series is one named curve.
+	Series = stats.Series
+	// SeriesSet is one figure (a set of curves over a shared axis).
+	SeriesSet = stats.SeriesSet
+	// ChartOptions sizes the terminal rendering of a figure.
+	ChartOptions = stats.ChartOptions
+	// Fidelity selects experiment runtime cost.
+	Fidelity = experiments.Fidelity
+	// CaseResult is the outcome of one experiment case.
+	CaseResult = experiments.Result
+)
+
+// Fidelity levels for the experiment drivers.
+const (
+	Smoke = experiments.Smoke
+	Quick = experiments.Quick
+	Full  = experiments.Full
+)
+
+// DefaultConfig returns the base (k=1) stressed-grid configuration.
+func DefaultConfig() Config { return grid.DefaultConfig() }
+
+// DefaultCosts returns the calibrated per-operation cost model.
+func DefaultCosts() CostModel { return grid.DefaultCosts() }
+
+// DefaultEnablers returns a sane enabler starting point.
+func DefaultEnablers() Enablers { return grid.DefaultEnablers() }
+
+// DefaultProtocol returns the paper's protocol constants.
+func DefaultProtocol() Protocol { return grid.DefaultProtocol() }
+
+// NewEngine builds a runnable simulation for the config and policy.
+func NewEngine(cfg Config, p Policy) (*Engine, error) { return grid.New(cfg, p) }
+
+// NewEngineWith is NewEngine sharing a pre-built substrate.
+func NewEngineWith(cfg Config, p Policy, s *Substrate) (*Engine, error) {
+	return grid.NewWith(cfg, p, s)
+}
+
+// BuildSubstrate constructs the topology+routing substrate for a config.
+func BuildSubstrate(cfg Config) (*Substrate, error) { return grid.BuildSubstrate(cfg) }
+
+// NewSubstrateCache returns an empty substrate cache.
+func NewSubstrateCache() *SubstrateCache { return grid.NewSubstrateCache() }
+
+// Models returns fresh instances of the paper's seven RMS models.
+func Models() []Policy { return rms.All() }
+
+// ModelNames lists the models in the paper's order.
+func ModelNames() []string { return rms.Names() }
+
+// ModelByName returns a fresh instance of the named model.
+func ModelByName(name string) (Policy, error) { return rms.ByName(name) }
+
+// NewCentral returns the CENTRAL model.
+func NewCentral() Policy { return rms.NewCentral() }
+
+// NewLowest returns the LOWEST model.
+func NewLowest() Policy { return rms.NewLowest() }
+
+// NewReserve returns the RESERVE model.
+func NewReserve() Policy { return rms.NewReserve() }
+
+// NewAuction returns the AUCTION model.
+func NewAuction() Policy { return rms.NewAuction() }
+
+// NewSenderInitiated returns the S-I model.
+func NewSenderInitiated() Policy { return rms.NewSenderInitiated() }
+
+// NewReceiverInitiated returns the R-I model.
+func NewReceiverInitiated() Policy { return rms.NewReceiverInitiated() }
+
+// NewSymmetric returns the Sy-I model.
+func NewSymmetric() Policy { return rms.NewSymmetric() }
+
+// NewHierarchy returns the two-level hierarchical RMS — an extension
+// beyond the paper's seven models implementing its future-work item on
+// complex RMS architectures. It is not part of Models().
+func NewHierarchy() Policy { return rms.NewHierarchy() }
+
+// PaperBand returns the paper's isoefficiency band [0.38, 0.42].
+func PaperBand() Band { return scale.PaperBand() }
+
+// Measure runs the paper's four-step scalability measurement procedure.
+func Measure(ev Evaluator, spec MeasureSpec) (*Measurement, error) {
+	return scale.Measure(ev, spec)
+}
+
+// NewIsoAnalysis derives the isoefficiency constants c and c' from a
+// base observation and a target efficiency.
+func NewIsoAnalysis(base Observation, e0 float64) (IsoAnalysis, error) {
+	return scale.NewIsoAnalysis(base, e0)
+}
+
+// ConditionReport finds the first scale factor violating the
+// isoefficiency condition f(k) > c*g(k), or -1.
+func ConditionReport(m *Measurement) (int, error) { return scale.ConditionReport(m) }
+
+// ParseFidelity converts "smoke", "quick" or "full".
+func ParseFidelity(s string) (Fidelity, error) { return experiments.ParseFidelity(s) }
+
+// RunCase1 reproduces Figure 2 (scaling the RP by network size).
+func RunCase1(f Fidelity, seed int64, progress func(string, Point)) (*CaseResult, error) {
+	return experiments.RunCase1(f, seed, progress)
+}
+
+// RunCase2 reproduces Figure 3 (scaling the RP by service rate).
+func RunCase2(f Fidelity, seed int64, progress func(string, Point)) (*CaseResult, error) {
+	return experiments.RunCase2(f, seed, progress)
+}
+
+// RunCase3 reproduces Figures 4, 6 and 7 (scaling the RMS by estimator
+// count).
+func RunCase3(f Fidelity, seed int64, progress func(string, Point)) (*CaseResult, error) {
+	return experiments.RunCase3(f, seed, progress)
+}
+
+// RunCase4 reproduces Figure 5 (scaling the RMS by L_p).
+func RunCase4(f Fidelity, seed int64, progress func(string, Point)) (*CaseResult, error) {
+	return experiments.RunCase4(f, seed, progress)
+}
+
+// RunAll runs all four cases.
+func RunAll(f Fidelity, seed int64, progress func(string, Point)) ([]*CaseResult, error) {
+	return experiments.RunAll(f, seed, progress)
+}
+
+// Workload layer.
+type (
+	// Job is one unit of user work.
+	Job = workload.Job
+	// WorkloadParams configures the synthetic generator.
+	WorkloadParams = workload.Params
+	// Trace bundles generated jobs with their parameters.
+	Trace = workload.Trace
+	// SWFOptions configures Standard Workload Format import.
+	SWFOptions = workload.SWFOptions
+	// JWParams configures the Jogalekar-Woodside comparison metric.
+	JWParams = scale.JWParams
+	// JWResult is the Jogalekar-Woodside metric over a measurement.
+	JWResult = scale.JWResult
+)
+
+// GenerateWorkload produces the synthetic job stream for the params,
+// deterministic in seed.
+func GenerateWorkload(p WorkloadParams, seed int64) ([]*Job, error) {
+	return workload.Generate(p, sim.NewSource(seed).Stream("workload"))
+}
+
+// ReadSWF imports a Standard Workload Format trace; benefit factors
+// are drawn deterministically from seed.
+func ReadSWF(r io.Reader, opts SWFOptions, seed int64) ([]*Job, error) {
+	return workload.ReadSWF(r, opts, sim.NewSource(seed).Stream("swf"))
+}
+
+// WriteSWF exports jobs in the Standard Workload Format.
+func WriteSWF(w io.Writer, jobs []*Job) error { return workload.WriteSWF(w, jobs) }
+
+// Scaling-path search (the measurement procedure's Step 2).
+type (
+	// PathVar is one scaling variable the RP search may adjust.
+	PathVar = scale.PathVar
+	// PathSpec configures the scaling-path search.
+	PathSpec = scale.PathSpec
+	// PathEvaluatorFunc adapts a function to the path evaluator.
+	PathEvaluatorFunc = scale.PathEvaluatorFunc
+	// Path is a found scaling path.
+	Path = scale.Path
+)
+
+// FindScalingPath searches for the cheapest feasible evolution of the
+// scaling variables — the paper's "identify the scaling path over
+// which the system functions profitably".
+func FindScalingPath(ev scale.PathEvaluator, spec PathSpec) (*Path, error) {
+	return scale.FindScalingPath(ev, spec)
+}
+
+// JogalekarWoodside evaluates the throughput-based scalability metric
+// of Jogalekar & Woodside (the paper's related-work comparator) over a
+// measurement, for side-by-side comparison with the overhead-based
+// isoefficiency metric.
+func JogalekarWoodside(m *Measurement, p JWParams) (*JWResult, error) {
+	return scale.JogalekarWoodside(m, p)
+}
+
+// AblationResult is one ablation study's comparison table.
+type AblationResult = experiments.AblationResult
+
+// Tuner selects the optimizer for Measure: TunerAnneal (the paper's
+// simulated annealing) or TunerGrid (the exhaustive baseline).
+type Tuner = scale.Tuner
+
+// Tuner values.
+const (
+	TunerAnneal = scale.TunerAnneal
+	TunerGrid   = scale.TunerGrid
+)
+
+// RunAblations executes every ablation study (update suppression,
+// estimator layer, middleware provisioning, tuner choice, fault
+// injection).
+func RunAblations(f Fidelity, seed int64) ([]*AblationResult, error) {
+	return experiments.AllAblations(f, seed)
+}
+
+// RPOverheadFigure derives the future-work h(k) curves from a case
+// result: scalability measured on the RP overhead instead of the RMS
+// overhead.
+func RPOverheadFigure(r *CaseResult) *SeriesSet {
+	return experiments.MeasureRPOverhead(r)
+}
+
+// PaperConstantsTable renders Table 1 (the common experiment
+// constants).
+func PaperConstantsTable(w io.Writer) error {
+	return experiments.PaperConstants().WriteTable1(w)
+}
+
+// ScalingTables renders Tables 2-5 (scaling variables and enablers per
+// case).
+func ScalingTables(w io.Writer) error { return experiments.WriteScalingTables(w) }

@@ -1,0 +1,106 @@
+// Command gridsim runs a single grid simulation with one RMS model and
+// prints the accounting summary — useful for exploring configurations
+// before committing to a full scalability measurement.
+//
+// Usage:
+//
+//	gridsim [flags]
+//
+// Flags:
+//
+//	-model NAME      RMS model (default LOWEST); see -list
+//	-list            list available models and exit
+//	-clusters N      clusters (default 8)
+//	-size N          resources per cluster (default 10)
+//	-estimators N    status estimators (default 0)
+//	-util F          target utilization (default 0.9)
+//	-horizon F       arrival window in time units (default 4000)
+//	-tau F           status update interval (default 40)
+//	-lp N            neighbours probed (default 3)
+//	-mu F            resource service rate (default 1)
+//	-seed N          random seed (default 1)
+//	-mtbf F          resource mean time between failures, 0=off
+//	-repair F        resource repair time (default 200)
+//	-loss F          update loss probability (default 0)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rmscale"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gridsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gridsim", flag.ContinueOnError)
+	model := fs.String("model", "LOWEST", "RMS model name")
+	list := fs.Bool("list", false, "list models and exit")
+	clusters := fs.Int("clusters", 8, "number of clusters")
+	size := fs.Int("size", 10, "resources per cluster")
+	estimators := fs.Int("estimators", 0, "status estimators")
+	util := fs.Float64("util", 0.9, "target utilization")
+	horizon := fs.Float64("horizon", 4000, "arrival window")
+	tau := fs.Float64("tau", 40, "status update interval")
+	lp := fs.Int("lp", 3, "neighbour schedulers probed")
+	mu := fs.Float64("mu", 1, "resource service rate")
+	seed := fs.Int64("seed", 1, "random seed")
+	mtbf := fs.Float64("mtbf", 0, "resource mean time between failures (0 disables)")
+	repair := fs.Float64("repair", 200, "resource repair time")
+	loss := fs.Float64("loss", 0, "update loss probability")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, n := range rmscale.ModelNames() {
+			fmt.Fprintln(out, n)
+		}
+		fmt.Fprintln(out, "HIERARCHY (extension)")
+		return nil
+	}
+
+	p, err := rmscale.ModelByName(*model)
+	if err != nil {
+		return err
+	}
+	cfg := rmscale.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Spec = rmscale.GridSpec{Clusters: *clusters, ClusterSize: *size, Estimators: *estimators}
+	cfg.Horizon = *horizon
+	cfg.Drain = *horizon / 2
+	cfg.ServiceRate = *mu
+	cfg.Workload.Clusters = *clusters
+	cfg.Workload.Horizon = *horizon
+	cfg.Workload.ArrivalRate = *util * float64(*clusters**size) / 524.2
+	cfg.Enablers.UpdateInterval = *tau
+	cfg.Protocol.Lp = *lp
+	cfg.Faults.ResourceMTBF = *mtbf
+	cfg.Faults.RepairTime = *repair
+	cfg.Faults.UpdateLossProb = *loss
+
+	eng, err := rmscale.NewEngine(cfg, p)
+	if err != nil {
+		return err
+	}
+	sum := eng.Run()
+	fmt.Fprintf(out, "model      %s\n", p.Name())
+	fmt.Fprintf(out, "grid       %d clusters x %d resources, %d estimators\n",
+		*clusters, *size, *estimators)
+	fmt.Fprintf(out, "summary    %v\n", sum)
+	m := eng.Metrics
+	fmt.Fprintf(out, "messages   updates=%d suppressed=%d lost=%d digests=%d protocol=%d transfers=%d\n",
+		m.UpdatesSent, m.UpdatesSuppressed, m.UpdatesLost, m.DigestsSent, m.PolicyMsgs, m.JobTransfers)
+	fmt.Fprintf(out, "jobs       arrived=%d completed=%d succeeded=%d lost=%d unfinished=%d\n",
+		m.JobsArrived, m.JobsCompleted, m.JobsSucceeded, m.JobsLost, eng.Unfinished())
+	fmt.Fprintf(out, "waits      mean=%.1f max=%.1f  responses mean=%.1f\n",
+		m.WaitTimes.Mean(), m.WaitTimes.Max(), m.ResponseTimes.Mean())
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CENTRAL", "LOWEST", "Sy-I"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("list missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRunSimulation(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-model", "LOWEST", "-clusters", "4", "-size", "5",
+		"-horizon", "800"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"model      LOWEST", "summary", "jobs", "messages"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-model", "CENTRAL", "-clusters", "4", "-size", "5",
+		"-horizon", "800", "-mtbf", "500", "-loss", "0.1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "model      CENTRAL") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestUnknownModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-model", "NOPE"}, &buf); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

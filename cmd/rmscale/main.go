@@ -1,0 +1,230 @@
+// Command rmscale runs the paper's scalability experiments and prints
+// the figures and tables of the evaluation section.
+//
+// Usage:
+//
+//	rmscale [flags] <command>
+//
+// Commands:
+//
+//	case1 .. case4   run one experiment case (Figures 2-5; case3 also
+//	                 emits Figures 6 and 7)
+//	all              run every case
+//	ablation         run the ablation studies (suppression, estimator
+//	                 layer, middleware, tuner, faults)
+//	tables           print Tables 1-5 (the experiment configurations)
+//
+// Flags:
+//
+//	-fidelity smoke|quick|full   runtime budget (default quick)
+//	-seed N                      master random seed (default 1)
+//	-format table|chart|csv|json output format (default table)
+//	-out DIR                     also save each figure as CSV+JSON files
+//	-v                           log tuning progress per (model, k)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rmscale"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rmscale:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rmscale", flag.ContinueOnError)
+	fidelity := fs.String("fidelity", "quick", "smoke, quick or full")
+	seed := fs.Int64("seed", 1, "master random seed")
+	format := fs.String("format", "table", "table, chart, csv or json")
+	outDir := fs.String("out", "", "also write each figure as CSV and JSON into this directory")
+	verbose := fs.Bool("v", false, "log tuning progress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need exactly one command: case1, case2, case3, case4, all or tables")
+	}
+	cmd := fs.Arg(0)
+
+	if cmd == "tables" {
+		return printTables(out)
+	}
+
+	fid, err := rmscale.ParseFidelity(*fidelity)
+	if err != nil {
+		return err
+	}
+	var progress func(string, rmscale.Point)
+	if *verbose {
+		progress = func(model string, p rmscale.Point) {
+			fmt.Fprintf(os.Stderr, "tuned %-8s k=%d G=%.1f E=%.3f feasible=%v evals=%d\n",
+				model, p.K, p.G, p.Obs.Efficiency, p.Feasible, p.Evals)
+		}
+	}
+
+	emit := func(ss *rmscale.SeriesSet) error {
+		if *outDir != "" {
+			if err := saveFigure(*outDir, ss); err != nil {
+				return err
+			}
+		}
+		switch *format {
+		case "csv":
+			return ss.WriteCSV(out)
+		case "json":
+			return ss.WriteJSON(out)
+		case "chart":
+			return ss.WriteChart(out, rmscale.ChartOptions{})
+		case "table":
+			return ss.WriteTable(out)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
+
+	emitCase := func(r *rmscale.CaseResult) error {
+		if err := emit(r.Figure()); err != nil {
+			return err
+		}
+		if r.Case == 3 {
+			if err := emit(r.ThroughputFigure()); err != nil {
+				return err
+			}
+			if err := emit(r.ResponseFigure()); err != nil {
+				return err
+			}
+		}
+		ranked := r.Figure().RankByFinalY()
+		fmt.Fprintf(out, "most to least scalable: %v\n", ranked)
+		for _, name := range r.Order {
+			m, ok := r.Measurements[name]
+			if !ok {
+				continue
+			}
+			var infeasible, saturated []int
+			for _, p := range m.Points {
+				if !p.Feasible {
+					infeasible = append(infeasible, p.K)
+				}
+				if p.Obs.Saturated {
+					saturated = append(saturated, p.K)
+				}
+			}
+			if len(infeasible) > 0 || len(saturated) > 0 {
+				fmt.Fprintf(out, "  %-8s", name)
+				if len(infeasible) > 0 {
+					fmt.Fprintf(out, " efficiency band unreachable at k=%v", infeasible)
+				}
+				if len(saturated) > 0 {
+					fmt.Fprintf(out, " RMS node saturated at k=%v", saturated)
+				}
+				fmt.Fprintln(out)
+			}
+		}
+		return nil
+	}
+
+	switch cmd {
+	case "case1":
+		r, err := rmscale.RunCase1(fid, *seed, progress)
+		if err != nil {
+			return err
+		}
+		return emitCase(r)
+	case "case2":
+		r, err := rmscale.RunCase2(fid, *seed, progress)
+		if err != nil {
+			return err
+		}
+		return emitCase(r)
+	case "case3":
+		r, err := rmscale.RunCase3(fid, *seed, progress)
+		if err != nil {
+			return err
+		}
+		return emitCase(r)
+	case "case4":
+		r, err := rmscale.RunCase4(fid, *seed, progress)
+		if err != nil {
+			return err
+		}
+		return emitCase(r)
+	case "all":
+		rs, err := rmscale.RunAll(fid, *seed, progress)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			if err := emitCase(r); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	case "ablation":
+		rs, err := rmscale.RunAblations(fid, *seed)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			fmt.Fprintln(out, r.Table())
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// saveFigure writes one figure as CSV and JSON files named after its
+// title.
+func saveFigure(dir string, ss *rmscale.SeriesSet) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, ss.Title)
+	slug = strings.Trim(slug, "-")
+	for len(slug) > 0 && strings.Contains(slug, "--") {
+		slug = strings.ReplaceAll(slug, "--", "-")
+	}
+	csvF, err := os.Create(filepath.Join(dir, slug+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csvF.Close()
+	if err := ss.WriteCSV(csvF); err != nil {
+		return err
+	}
+	jsonF, err := os.Create(filepath.Join(dir, slug+".json"))
+	if err != nil {
+		return err
+	}
+	defer jsonF.Close()
+	return ss.WriteJSON(jsonF)
+}
+
+func printTables(out io.Writer) error {
+	if err := rmscale.PaperConstantsTable(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	return rmscale.ScalingTables(out)
+}

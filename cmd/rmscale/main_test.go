@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rmscale"
+)
+
+func TestTablesCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"tables"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T_CPU", "Table 2", "Table 5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tables output missing %q", want)
+		}
+	}
+}
+
+func TestCase1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case run is slow")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-fidelity", "smoke", "case1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 2", "CENTRAL", "LOWEST", "most to least scalable"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("case1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCase3EmitsThreeFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case run is slow")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-fidelity", "smoke", "case3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 4", "Throughput", "response"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("case3 output missing %q", want)
+		}
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case run is slow")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-fidelity", "smoke", "-format", "csv", "case2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "k,CENTRAL,LOWEST") {
+		t.Fatalf("CSV header missing:\n%s", buf.String())
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case run is slow")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-fidelity", "smoke", "-format", "json", "case4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"series\"") {
+		t.Fatal("JSON output missing series")
+	}
+}
+
+func TestAblationCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is slow")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-fidelity", "smoke", "ablation"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"suppression", "estimator", "middleware", "anneal", "grid"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("missing command accepted")
+	}
+	if err := run([]string{"frobnicate"}, &buf); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run([]string{"-fidelity", "bogus", "case1"}, &buf); err == nil {
+		t.Error("bad fidelity accepted")
+	}
+	if err := run([]string{"-format", "bogus", "-fidelity", "smoke", "case1"}, &buf); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestSaveFigure(t *testing.T) {
+	dir := t.TempDir()
+	ss := &rmscale.SeriesSet{Title: "Figure 9: Test / Case (x)", XLabel: "k"}
+	ss.Add(rmscale.Series{Name: "m", X: []float64{1}, Y: []float64{2}})
+	if err := saveFigure(dir, ss); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"figure-9-test-case-x.csv", "figure-9-test-case-x.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestChartFormatSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case run is slow")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-fidelity", "smoke", "-format", "chart", "case4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "legend:") {
+		t.Fatal("chart output missing legend")
+	}
+}

@@ -1,0 +1,123 @@
+// Command topogen generates a grid topology the way the simulator does
+// — an Internet-like graph with grid roles mapped onto it — and dumps
+// it for inspection.
+//
+// Usage:
+//
+//	topogen [flags]
+//
+// Flags:
+//
+//	-nodes N       topology size (default 200)
+//	-gen NAME      powerlaw, waxman, cliques or transitstub (default powerlaw)
+//	-m N           preferential-attachment edges (default 2)
+//	-clusters N    clusters to map (default 8)
+//	-size N        resources per cluster (default 10)
+//	-estimators N  estimators to map (default 0)
+//	-seed N        random seed (default 1)
+//	-format NAME   summary or dot (default summary)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rmscale/internal/sim"
+	"rmscale/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 200, "topology size")
+	gen := fs.String("gen", "powerlaw", "generator: powerlaw, waxman or cliques")
+	m := fs.Int("m", 2, "preferential attachment edge count")
+	clusters := fs.Int("clusters", 8, "clusters to map")
+	size := fs.Int("size", 10, "resources per cluster")
+	estimators := fs.Int("estimators", 0, "estimators to map")
+	seed := fs.Int64("seed", 1, "random seed")
+	format := fs.String("format", "summary", "summary or dot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	src := sim.NewSource(*seed)
+	lp := topology.DefaultLinkParams()
+	var g *topology.Graph
+	var err error
+	switch *gen {
+	case "powerlaw":
+		g, err = topology.PowerLaw(*nodes, *m, lp, src.Stream("topo"))
+	case "waxman":
+		g, err = topology.Waxman(*nodes, 0.4, 0.2, lp, src.Stream("topo"))
+	case "cliques":
+		g, err = topology.RingOfCliques(*nodes/5, 5, lp, src.Stream("topo"))
+	case "transitstub":
+		g, err = topology.TransitStub(topology.DefaultTransitStubParams(), lp, src.Stream("topo"))
+	default:
+		return fmt.Errorf("unknown generator %q", *gen)
+	}
+	if err != nil {
+		return err
+	}
+	spec := topology.GridSpec{Clusters: *clusters, ClusterSize: *size, Estimators: *estimators}
+	mp, err := topology.MapGrid(g, spec, src.Stream("map"))
+	if err != nil {
+		return err
+	}
+
+	switch *format {
+	case "summary":
+		ds := g.DegreeDistribution()
+		fmt.Fprintf(out, "nodes        %d\n", g.N)
+		fmt.Fprintf(out, "edges        %d\n", g.Edges())
+		fmt.Fprintf(out, "connected    %v\n", g.Connected())
+		fmt.Fprintf(out, "degrees      min=%d max=%d mean=%.2f tail-ratio=%.2f\n",
+			ds.Min, ds.Max, ds.Mean, ds.TailRatio)
+		fmt.Fprintf(out, "schedulers   %v\n", mp.SchedulerNode)
+		fmt.Fprintf(out, "estimators   %v\n", mp.EstimatorNode)
+		for c, rs := range mp.ClusterResources {
+			fmt.Fprintf(out, "cluster %-3d  %d resources\n", c, len(rs))
+		}
+		return nil
+	case "dot":
+		return writeDot(out, g, mp)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+// writeDot emits a Graphviz rendering with roles coloured.
+func writeDot(out io.Writer, g *topology.Graph, mp *topology.Mapping) error {
+	fmt.Fprintln(out, "graph grid {")
+	fmt.Fprintln(out, "  node [shape=point];")
+	for u := 0; u < g.N; u++ {
+		color := "gray"
+		switch mp.Roles[u] {
+		case topology.RoleScheduler:
+			color = "red"
+		case topology.RoleResource:
+			color = "blue"
+		case topology.RoleEstimator:
+			color = "green"
+		}
+		fmt.Fprintf(out, "  n%d [color=%s];\n", u, color)
+	}
+	for u := 0; u < g.N; u++ {
+		for _, e := range g.Adj[u] {
+			if u < e.To {
+				fmt.Fprintf(out, "  n%d -- n%d;\n", u, e.To)
+			}
+		}
+	}
+	_, err := fmt.Fprintln(out, "}")
+	return err
+}

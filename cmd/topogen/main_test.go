@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nodes", "120", "-clusters", "4", "-size", "8"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"nodes        120", "connected    true", "schedulers", "cluster 3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	for _, gen := range []string{"powerlaw", "waxman", "cliques", "transitstub"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-gen", gen, "-nodes", "100", "-clusters", "3", "-size", "5"}, &buf); err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if !strings.Contains(buf.String(), "connected    true") {
+			t.Fatalf("%s produced disconnected graph", gen)
+		}
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nodes", "60", "-clusters", "3", "-size", "4",
+		"-estimators", "2", "-format", "dot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph grid {", "color=red", "color=blue", "color=green", "--"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dot output missing %q", want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-gen", "bogus"}, &buf); err == nil {
+		t.Error("unknown generator accepted")
+	}
+	if err := run([]string{"-format", "bogus"}, &buf); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"-nodes", "5", "-clusters", "10", "-size", "10"}, &buf); err == nil {
+		t.Error("over-full mapping accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package rmscale_test
+
+import (
+	"fmt"
+
+	"rmscale"
+)
+
+// ExampleNewEngine runs one deterministic grid simulation and reads the
+// paper's accounting terms off the summary.
+func ExampleNewEngine() {
+	cfg := rmscale.DefaultConfig()
+	cfg.Workload.Horizon = 1000
+	cfg.Horizon = 1000
+	cfg.Drain = 1500
+
+	eng, err := rmscale.NewEngine(cfg, rmscale.NewCentral())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sum := eng.Run()
+	fmt.Printf("jobs arrived: %d\n", sum.Jobs)
+	fmt.Printf("efficiency in (0,1): %v\n", sum.Efficiency > 0 && sum.Efficiency < 1)
+	fmt.Printf("overheads non-negative: %v\n", sum.G >= 0 && sum.H >= 0)
+	// Output:
+	// jobs arrived: 143
+	// efficiency in (0,1): true
+	// overheads non-negative: true
+}
+
+// ExampleModelNames lists the paper's seven RMS models in order.
+func ExampleModelNames() {
+	for _, name := range rmscale.ModelNames() {
+		fmt.Println(name)
+	}
+	// Output:
+	// CENTRAL
+	// LOWEST
+	// RESERVE
+	// AUCTION
+	// S-I
+	// R-I
+	// Sy-I
+}
+
+// ExamplePaperBand shows the isoefficiency band the evaluation holds.
+func ExamplePaperBand() {
+	b := rmscale.PaperBand()
+	fmt.Printf("[%.2f, %.2f]\n", b.Lo, b.Hi)
+	fmt.Println(b.Contains(0.40), b.Contains(0.50))
+	// Output:
+	// [0.38, 0.42]
+	// true false
+}
+
+// ExampleNewIsoAnalysis derives the isoefficiency constants of
+// Section 2.3 from a base observation.
+func ExampleNewIsoAnalysis() {
+	base := rmscale.Observation{F: 1000, G: 600, H: 900}
+	iso, err := rmscale.NewIsoAnalysis(base, 0.4) // alpha = 2.5
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("c = %.2f, c' = %.2f\n", iso.C, iso.CPrime)
+	fmt.Println("condition f>c*g holds for f=2, g=2:", iso.Condition(2, 2))
+	fmt.Println("condition f>c*g holds for f=2, g=8:", iso.Condition(2, 8))
+	// Output:
+	// c = 0.40, c' = 0.60
+	// condition f>c*g holds for f=2, g=2: true
+	// condition f>c*g holds for f=2, g=8: false
+}

@@ -1,0 +1,53 @@
+// Comparerms runs all seven RMS models of the paper on an identical
+// grid and workload, then ranks them by overhead and by delivered
+// efficiency — the comparison a grid operator would run before
+// committing to a scheduler architecture.
+//
+//	go run ./examples/comparerms
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"rmscale"
+)
+
+func main() {
+	cfg := rmscale.DefaultConfig()
+	// A moderately stressed medium grid.
+	cfg.Spec = rmscale.GridSpec{Clusters: 12, ClusterSize: 10}
+	cfg.Workload.Clusters = 12
+	cfg.Workload.ArrivalRate = 0.9 * 120 / 524.2
+
+	type row struct {
+		name string
+		sum  rmscale.Summary
+	}
+	var rows []row
+	for _, p := range rmscale.Models() {
+		eng, err := rmscale.NewEngine(cfg, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{name: p.Name(), sum: eng.Run()})
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].sum.G < rows[j].sum.G })
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "model\tG (RMS overhead)\tefficiency\tsuccess\tmean response")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.0f\t%.3f\t%.3f\t%.1f\n",
+			r.name, r.sum.G, r.sum.Efficiency, r.sum.SuccessRate, r.sum.MeanResponse)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nNote: low overhead at one scale does not mean scalable —")
+	fmt.Println("run the isoefficiency measurement (examples/measure) to see growth.")
+}

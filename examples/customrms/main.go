@@ -1,0 +1,77 @@
+// Customrms shows how to plug a new resource management system into
+// the framework and measure it against the paper's models: the Policy
+// interface is the only contract. The example implements RANDOM — a
+// deliberately naive scheduler that sends every REMOTE job to a random
+// remote cluster without asking anything first — and compares its
+// overhead and efficiency against LOWEST on the same grid.
+//
+//	go run ./examples/customrms
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rmscale"
+)
+
+// Random is the custom RMS: no status machinery beyond the default
+// periodic updates, no polling — REMOTE jobs are transferred blind.
+// Cheap, but placement quality is whatever luck provides.
+type Random struct{}
+
+// Name implements rmscale.Policy.
+func (*Random) Name() string { return "RANDOM" }
+
+// Central implements rmscale.Policy.
+func (*Random) Central() bool { return false }
+
+// UsesMiddleware implements rmscale.Policy.
+func (*Random) UsesMiddleware() bool { return false }
+
+// Attach implements rmscale.Policy.
+func (*Random) Attach(*rmscale.Engine) {}
+
+// OnJob places LOCAL jobs on the least loaded local resource and ships
+// REMOTE jobs to a uniformly random peer, blind.
+func (*Random) OnJob(s *rmscale.Scheduler, ctx *rmscale.JobCtx) {
+	if ctx.Hops > 0 || ctx.Attempts > 0 || ctx.Job.Runtime <= 700 || len(s.Peers()) == 0 {
+		s.DispatchLeastLoaded(ctx)
+		return
+	}
+	peers := s.RandomPeers(1)
+	s.TransferJob(ctx, peers[0])
+}
+
+// OnMessage implements rmscale.Policy; RANDOM exchanges no messages.
+func (*Random) OnMessage(*rmscale.Scheduler, *rmscale.Message) {}
+
+// OnStatus implements rmscale.Policy.
+func (*Random) OnStatus(*rmscale.Scheduler, []int) {}
+
+// OnTick implements rmscale.Policy.
+func (*Random) OnTick(*rmscale.Scheduler) {}
+
+func main() {
+	cfg := rmscale.DefaultConfig()
+
+	run := func(p rmscale.Policy) rmscale.Summary {
+		eng, err := rmscale.NewEngine(cfg, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return eng.Run()
+	}
+
+	random := run(&Random{})
+	lowest := run(rmscale.NewLowest())
+
+	fmt.Println("model    G (overhead)  efficiency  success")
+	fmt.Printf("RANDOM   %-13.0f %-11.3f %.3f\n", random.G, random.Efficiency, random.SuccessRate)
+	fmt.Printf("LOWEST   %-13.0f %-11.3f %.3f\n", lowest.G, lowest.Efficiency, lowest.SuccessRate)
+	fmt.Println()
+	fmt.Printf("deadline-missed work: RANDOM %.0f, LOWEST %.0f\n", random.Wasted, lowest.Wasted)
+	fmt.Println("A single run at one scale cannot rank schedulers — overhead and")
+	fmt.Println("delivered work trade off differently as the system grows, which is")
+	fmt.Println("exactly what the isoefficiency measurement (examples/measure) exposes.")
+}

@@ -1,0 +1,86 @@
+// Scalingpath demonstrates Step 2 of the paper's measurement procedure
+// (Figure 1's flowchart): before tuning the RMS, find a feasible — and
+// cheapest — scaling path for the resource pool itself. The demand
+// doubles and quadruples; the search decides how to buy the capacity:
+// more clusters of cheap unit-speed resources, or fewer, faster ones.
+//
+//	go run ./examples/scalingpath
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rmscale"
+)
+
+func main() {
+	const baseDemand = 0.04 // offered jobs per time unit at k=1
+	// Throughput is measured over the full window (arrivals + drain),
+	// so the absorbed-demand threshold scales by the window ratio.
+	const demandPerK = baseDemand * 1200 / 3000
+
+	cache := rmscale.NewSubstrateCache()
+	ev := rmscale.PathEvaluatorFunc(func(k int, vars []float64) (rmscale.Observation, error) {
+		clusters := int(vars[0])
+		mu := vars[1]
+		cfg := rmscale.DefaultConfig()
+		cfg.Spec = rmscale.GridSpec{Clusters: clusters, ClusterSize: 6}
+		cfg.ServiceRate = mu
+		cfg.Workload.Clusters = clusters
+		// Offered load tracks demand, not capacity: the pool must
+		// absorb k times the base workload.
+		cfg.Workload.ArrivalRate = baseDemand * float64(k)
+		cfg.Workload.Horizon = 1200
+		cfg.Horizon = 1200
+		cfg.Drain = 1800
+		sub, err := cache.Get(cfg)
+		if err != nil {
+			return rmscale.Observation{}, err
+		}
+		eng, err := rmscale.NewEngineWith(cfg, rmscale.NewLowest(), sub)
+		if err != nil {
+			return rmscale.Observation{}, err
+		}
+		s := eng.Run()
+		return rmscale.Observation{
+			F: s.F, G: s.G, H: s.H,
+			Efficiency: s.Efficiency,
+			Throughput: s.Throughput,
+		}, nil
+	})
+
+	spec := rmscale.PathSpec{
+		Vars: []rmscale.PathVar{
+			// A cluster of 6 resources costs 6 units; faster resources
+			// cost a premium per speed step across the whole pool.
+			{Name: "clusters", Min: 2, Max: 24, Integer: true, CostWeight: 6},
+			{Name: "service-rate", Min: 1, Max: 3, CostWeight: 20},
+		},
+		Ks:   []int{1, 2, 4},
+		Band: rmscale.Band{Lo: 0.30, Hi: 0.45},
+		Demand: func(k int, obs rmscale.Observation) bool {
+			// Met when ~95% of the offered jobs completed in-window.
+			return obs.Throughput >= 0.95*demandPerK*float64(k)
+		},
+	}
+	spec.Anneal.Iters = 14
+	spec.Anneal.Seed = 3
+
+	fmt.Println("searching the scaling path (demand doubles per step)...")
+	path, err := rmscale.FindScalingPath(ev, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-4s %-9s %-13s %-8s %-11s %s\n",
+		"k", "clusters", "service-rate", "cost", "throughput", "feasible")
+	for _, pt := range path.Points {
+		fmt.Printf("%-4d %-9.0f %-13.2f %-8.0f %-11.4f %v\n",
+			pt.K, pt.Vars[0], pt.Vars[1], pt.Cost, pt.Obs.Throughput, pt.Feasible)
+	}
+	if path.Feasible() {
+		fmt.Println("\na scalable RP exists along this path — the RMS measurement (Step 3) may proceed")
+	} else {
+		fmt.Println("\nno scalable RP found: per the paper's flowchart, the base system is unscalable")
+	}
+}

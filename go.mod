@@ -1,0 +1,3 @@
+module rmscale
+
+go 1.22

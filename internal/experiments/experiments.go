@@ -1,0 +1,306 @@
+// Package experiments reproduces the paper's evaluation: the four
+// scaling cases of Tables 2-5 and the six result figures.
+//
+//	Case 1 (Table 2, Figure 2): scale the RP by network size.
+//	Case 2 (Table 3, Figure 3): scale the RP by resource service rate.
+//	Case 3 (Table 4, Figures 4, 6, 7): scale the RMS by status
+//	        estimator count.
+//	Case 4 (Table 5, Figure 5): scale the RMS by L_p, the number of
+//	        neighbour schedulers probed.
+//
+// In every case the workload scales in the same proportion as the
+// scaling variable, the efficiency band is the paper's [0.38, 0.42],
+// and a simulated annealing search re-tunes the case's scaling enablers
+// at each scale factor to minimize the RMS overhead G(k).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rmscale/internal/anneal"
+	"rmscale/internal/grid"
+	"rmscale/internal/rms"
+	"rmscale/internal/scale"
+	"rmscale/internal/stats"
+)
+
+// Fidelity trades runtime for statistical quality.
+type Fidelity int
+
+const (
+	// Smoke is for unit tests: tiny grid, three scale factors.
+	Smoke Fidelity = iota
+	// Quick produces recognizable curves in minutes on one core.
+	Quick
+	// Full is the paper-shaped configuration (1000-node cases).
+	Full
+)
+
+// String names the fidelity level.
+func (f Fidelity) String() string {
+	switch f {
+	case Smoke:
+		return "smoke"
+	case Quick:
+		return "quick"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("fidelity(%d)", int(f))
+	}
+}
+
+// ParseFidelity converts a CLI string.
+func ParseFidelity(s string) (Fidelity, error) {
+	switch s {
+	case "smoke":
+		return Smoke, nil
+	case "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown fidelity %q (want smoke, quick or full)", s)
+}
+
+// tuning returns the annealing budget per fidelity.
+func (f Fidelity) tuning() anneal.Options {
+	switch f {
+	case Smoke:
+		return anneal.Options{Iters: 5, Restarts: 1}
+	case Quick:
+		return anneal.Options{Iters: 16, Restarts: 1}
+	default:
+		return anneal.Options{Iters: 24, Restarts: 1}
+	}
+}
+
+// replicas returns how many independent seeds each evaluation averages
+// over; replication smooths the tuner's objective surface.
+func (f Fidelity) replicas() int {
+	switch f {
+	case Smoke:
+		return 1
+	case Quick:
+		return 2
+	default:
+		return 2
+	}
+}
+
+// ks returns the scale factors per fidelity.
+func (f Fidelity) ks() []int {
+	if f == Smoke {
+		return []int{1, 2, 3}
+	}
+	return []int{1, 2, 3, 4, 5, 6}
+}
+
+// Result is the outcome of one case for every model.
+type Result struct {
+	Case     int
+	Title    string
+	Fidelity Fidelity
+	// Measurements maps model name to its tuned G(k) measurement.
+	Measurements map[string]*scale.Measurement
+	// Order lists model names in the paper's order.
+	Order []string
+}
+
+// Figure assembles the case's raw overhead curves (the paper's
+// "Variation in G(k)" figures).
+func (r *Result) Figure() *stats.SeriesSet {
+	ss := &stats.SeriesSet{Title: r.Title, XLabel: "k", YLabel: "G(k)"}
+	for _, name := range r.Order {
+		if m, ok := r.Measurements[name]; ok {
+			ss.Add(m.Series())
+		}
+	}
+	return ss
+}
+
+// NormalizedFigure assembles g(k) = G(k)/G(1) curves, which compare
+// growth factors independent of each model's base overhead.
+func (r *Result) NormalizedFigure() *stats.SeriesSet {
+	ss := &stats.SeriesSet{
+		Title:  r.Title + " (normalized)",
+		XLabel: "k", YLabel: "g(k) = G(k)/G(1)",
+	}
+	for _, name := range r.Order {
+		if m, ok := r.Measurements[name]; ok {
+			ss.Add(m.NormalizedSeries())
+		}
+	}
+	return ss
+}
+
+// ThroughputFigure assembles throughput curves (Figure 6 for Case 3).
+func (r *Result) ThroughputFigure() *stats.SeriesSet {
+	ss := &stats.SeriesSet{
+		Title:  fmt.Sprintf("Throughput, case %d", r.Case),
+		XLabel: "k", YLabel: "jobs completed per time unit",
+	}
+	for _, name := range r.Order {
+		if m, ok := r.Measurements[name]; ok {
+			ss.Add(stats.Series{Name: name, X: m.Ks(), Y: m.Throughputs()})
+		}
+	}
+	return ss
+}
+
+// ResponseFigure assembles mean response time curves (Figure 7).
+func (r *Result) ResponseFigure() *stats.SeriesSet {
+	ss := &stats.SeriesSet{
+		Title:  fmt.Sprintf("Average response time, case %d", r.Case),
+		XLabel: "k", YLabel: "mean response time",
+	}
+	for _, name := range r.Order {
+		if m, ok := r.Measurements[name]; ok {
+			ss.Add(stats.Series{Name: name, X: m.Ks(), Y: m.ResponseTimes()})
+		}
+	}
+	return ss
+}
+
+// caseDef describes one scaling case: how to build the grid config at a
+// scale factor and which enablers the tuner may adjust (the case's
+// Table).
+type caseDef struct {
+	id       int
+	title    string
+	enablers []scale.Enabler
+	// config builds the grid configuration at scale k with the
+	// enablers applied.
+	config func(fid Fidelity, seed int64, k int, x []float64) grid.Config
+}
+
+// runCase measures every model over the case definition, fanning models
+// out over a bounded worker pool.
+func runCase(def caseDef, fid Fidelity, seed int64, progress func(string, scale.Point)) (*Result, error) {
+	res := &Result{
+		Case:         def.id,
+		Title:        def.title,
+		Fidelity:     fid,
+		Measurements: make(map[string]*scale.Measurement),
+		Order:        rms.Names(),
+	}
+	cache := grid.NewSubstrateCache()
+
+	type item struct {
+		name string
+		m    *scale.Measurement
+		err  error
+	}
+	models := rms.All()
+	out := make(chan item, len(models))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(models) {
+		workers = len(models)
+	}
+	work := make(chan grid.Policy)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range work {
+				m, err := measureModel(def, fid, seed, p, cache, progress)
+				out <- item{name: p.Name(), m: m, err: err}
+			}
+		}()
+	}
+	for _, p := range models {
+		work <- p
+	}
+	close(work)
+	wg.Wait()
+	close(out)
+	for it := range out {
+		if it.err != nil {
+			return nil, fmt.Errorf("experiments: case %d, model %s: %w", def.id, it.name, it.err)
+		}
+		res.Measurements[it.name] = it.m
+	}
+	return res, nil
+}
+
+// measureModel runs the scalability measurement procedure for a single
+// model over the case definition.
+func measureModel(def caseDef, fid Fidelity, seed int64, p grid.Policy,
+	cache *grid.SubstrateCache, progress func(string, scale.Point)) (*scale.Measurement, error) {
+
+	replicas := fid.replicas()
+	ev := scale.EvaluatorFunc(func(k int, x []float64) (scale.Observation, error) {
+		var acc scale.Observation
+		for r := 0; r < replicas; r++ {
+			cfg := def.config(fid, seed+int64(r)*101, k, x)
+			// The substrate cache key uses the post-collapse spec, so
+			// apply the engine's collapse rule before the lookup.
+			lookup := cfg
+			if p.Central() {
+				lookup.Spec.ClusterSize = lookup.Spec.Clusters * lookup.Spec.ClusterSize
+				lookup.Spec.Clusters = 1
+				lookup.Workload.Clusters = 1
+			}
+			sub, err := cache.Get(lookup)
+			if err != nil {
+				return scale.Observation{}, err
+			}
+			fresh, err := rms.ByName(p.Name()) // engines are single-use; state must be fresh
+			if err != nil {
+				return scale.Observation{}, err
+			}
+			e, err := grid.NewWith(cfg, fresh, sub)
+			if err != nil {
+				return scale.Observation{}, err
+			}
+			sum := e.Run()
+			if e.K.Overflowed {
+				return scale.Observation{}, fmt.Errorf("event budget exceeded at k=%d", k)
+			}
+			acc.F += sum.F
+			acc.G += sum.G
+			acc.H += sum.H
+			acc.Throughput += sum.Throughput
+			acc.MeanResponse += sum.MeanResponse
+			acc.SuccessRate += sum.SuccessRate
+			// A node is saturated when its busy fraction pins at 1 or
+			// its work queue built a backlog long enough to matter
+			// against job deadlines (runtimes are hundreds of units).
+			if sum.MaxSchedulerUtil > 0.98 || sum.MaxSchedDelay > 25 {
+				acc.Saturated = true
+			}
+		}
+		n := float64(replicas)
+		acc.F /= n
+		acc.G /= n
+		acc.H /= n
+		acc.Throughput /= n
+		acc.MeanResponse /= n
+		acc.SuccessRate /= n
+		// Efficiency from the averaged accounting terms, not the
+		// average of ratios.
+		if total := acc.F + acc.G + acc.H; total > 0 {
+			acc.Efficiency = acc.F / total
+		}
+		return acc, nil
+	})
+
+	opts := fid.tuning()
+	opts.Seed = seed
+	spec := scale.MeasureSpec{
+		RMS:       p.Name(),
+		Ks:        fid.ks(),
+		Enablers:  def.enablers,
+		Band:      scale.PaperBand(),
+		Anneal:    opts,
+		WarmStart: true,
+	}
+	if progress != nil {
+		name := p.Name()
+		spec.Progress = func(pt scale.Point) { progress(name, pt) }
+	}
+	return scale.Measure(ev, spec)
+}

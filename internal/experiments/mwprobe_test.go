@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"rmscale/internal/grid"
+	"rmscale/internal/rms"
+)
+
+// TestProbeMiddleware inspects the S-I family's middleware load across
+// Case 1 scale factors at Quick fidelity. Enabled via RMSCALE_PROBE_MW.
+func TestProbeMiddleware(t *testing.T) {
+	if os.Getenv("RMSCALE_PROBE_MW") == "" {
+		t.Skip("set RMSCALE_PROBE_MW=1 to run")
+	}
+	def := Case1(Quick)
+	for _, name := range []string{"S-I", "R-I", "Sy-I"} {
+		for _, k := range []int{1, 3, 6} {
+			cfg := def.config(Quick, 1, k, []float64{40, 6, 1})
+			p, err := rms.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := grid.New(cfg, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := e.Run()
+			t.Logf("%-5s k=%d %v transfers=%d", name, k, sum, e.Metrics.JobTransfers)
+		}
+	}
+}

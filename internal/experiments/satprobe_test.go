@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"rmscale/internal/grid"
+	"rmscale/internal/rms"
+)
+
+// TestProbeCentralSaturation inspects the central scheduler's node
+// utilization across Case 2 scale factors. Enabled via RMSCALE_PROBE_SAT.
+func TestProbeCentralSaturation(t *testing.T) {
+	if os.Getenv("RMSCALE_PROBE_SAT") == "" {
+		t.Skip("set RMSCALE_PROBE_SAT=1 to run")
+	}
+	def := Case2(Full)
+	for _, k := range []int{1, 3, 6} {
+		cfg := def.config(Full, 1, k, []float64{40, 6, 1})
+		p, _ := rms.ByName("CENTRAL")
+		e, err := grid.New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := e.Run()
+		t.Logf("k=%d speed=%v %v", k, cfg.Costs.SchedulerSpeed, sum)
+	}
+}

@@ -1,0 +1,69 @@
+package grid_test
+
+import (
+	"testing"
+
+	"rmscale/internal/grid"
+	"rmscale/internal/rms"
+)
+
+// TestEfficiencyRespondsToUpdateInterval verifies the central calibration
+// property the scalability procedure relies on: efficiency must sit in or
+// above the paper's band when status information is fresh, and degrade
+// below the band's floor as the update interval grows and the scheduler's
+// view goes stale. Without this coupling the isoefficiency constraint
+// could not bind and the tuner would be meaningless.
+func TestEfficiencyRespondsToUpdateInterval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	cfg := grid.DefaultConfig()
+	cfg.Workload.Horizon = 3000
+	cfg.Horizon = 3000
+	cfg.Drain = 3000
+
+	var effs []float64
+	for _, tau := range []float64{10, 40, 160, 640, 2500} {
+		c := cfg
+		c.Enablers.UpdateInterval = tau
+		e, err := grid.New(c, rms.NewLowest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := e.Run()
+		t.Logf("tau=%-6v %v", tau, sum)
+		effs = append(effs, sum.Efficiency)
+	}
+	if effs[0] < 0.36 {
+		t.Errorf("fresh information should keep efficiency near the band, got %v", effs[0])
+	}
+	if effs[len(effs)-1] > effs[0] {
+		t.Errorf("stale information should not beat fresh: %v", effs)
+	}
+}
+
+// TestEfficiencyBandReachable verifies every model can land in or above
+// the band floor at the base configuration with default enablers.
+func TestEfficiencyBandReachable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	cfg := grid.DefaultConfig()
+	cfg.Workload.Horizon = 3000
+	cfg.Horizon = 3000
+	cfg.Drain = 3000
+	for _, p := range rms.All() {
+		e, err := grid.New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := e.Run()
+		t.Logf("%-8s %v", p.Name(), sum)
+		if sum.Efficiency < 0.3 {
+			t.Errorf("%s: efficiency %v hopelessly below band", p.Name(), sum.Efficiency)
+		}
+		if sum.Efficiency > 0.46 {
+			t.Errorf("%s: efficiency %v above the calibrated ceiling", p.Name(), sum.Efficiency)
+		}
+	}
+}

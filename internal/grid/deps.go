@@ -1,0 +1,125 @@
+package grid
+
+import (
+	"rmscale/internal/workload"
+)
+
+// Precedence support (the paper's future-work item (b)): a job with
+// Deps is held by the engine until every parent job has terminated
+// (completed or been lost); only then does it enter scheduling, at its
+// arrival time or at the moment of release, whichever is later.
+
+// depTracker holds dependent jobs until their parents terminate.
+type depTracker struct {
+	// outstanding[jobID] is how many parents are still running.
+	outstanding map[int]int
+	// waiters[parentID] lists jobs waiting on that parent.
+	waiters map[int][]*workload.Job
+	// done records terminated job ids (for deps on jobs that finish
+	// before the dependent is even examined).
+	done map[int]bool
+	// arrived records held jobs whose arrival time already passed.
+	arrived map[int]bool
+}
+
+func newDepTracker() *depTracker {
+	return &depTracker{
+		outstanding: make(map[int]int),
+		waiters:     make(map[int][]*workload.Job),
+		done:        make(map[int]bool),
+		arrived:     make(map[int]bool),
+	}
+}
+
+// register examines a job's dependencies before the run starts and
+// returns whether the job must be held.
+func (d *depTracker) register(j *workload.Job) (held bool) {
+	n := 0
+	for _, parent := range j.Deps {
+		if d.done[parent] {
+			continue
+		}
+		d.waiters[parent] = append(d.waiters[parent], j)
+		n++
+	}
+	if n == 0 {
+		return false
+	}
+	d.outstanding[j.ID] = n
+	return true
+}
+
+// terminate marks a job terminated and returns the dependents that
+// became released by it.
+func (d *depTracker) terminate(jobID int) []*workload.Job {
+	if d.done[jobID] {
+		return nil
+	}
+	d.done[jobID] = true
+	var released []*workload.Job
+	for _, w := range d.waiters[jobID] {
+		d.outstanding[w.ID]--
+		if d.outstanding[w.ID] == 0 {
+			delete(d.outstanding, w.ID)
+			released = append(released, w)
+		}
+	}
+	delete(d.waiters, jobID)
+	return released
+}
+
+// Held reports how many jobs are currently waiting on parents.
+func (d *depTracker) Held() int { return len(d.outstanding) }
+
+// startWithDeps wires arrivals for a workload containing precedence
+// constraints. Independent jobs arrive normally; dependent jobs arrive
+// at max(arrival, release time).
+func (e *Engine) startWithDeps() {
+	e.depsT = newDepTracker()
+	for _, j := range e.jobs {
+		j := j
+		if len(j.Deps) == 0 || !e.depsT.register(j) {
+			e.K.Schedule(j.Arrival, func() { e.admitJob(j) })
+			continue
+		}
+		// Held: record when its arrival time passes so a later
+		// release admits it immediately.
+		e.K.Schedule(j.Arrival, func() {
+			if e.depsT.outstanding[j.ID] > 0 {
+				e.depsT.arrived[j.ID] = true
+			}
+		})
+	}
+}
+
+// admitJob delivers a job to its submission scheduler.
+func (e *Engine) admitJob(j *workload.Job) {
+	s := e.Schedulers[j.Cluster]
+	e.Tracer.Tracef("arrival", "job %d at cluster %d (%v)", j.ID, j.Cluster, j.Class)
+	e.policy.OnJob(s, &JobCtx{Job: j, Origin: j.Cluster})
+}
+
+// jobTerminated releases dependents of a finished (or lost) job.
+func (e *Engine) jobTerminated(jobID int) {
+	if e.depsT == nil {
+		return
+	}
+	for _, w := range e.depsT.terminate(jobID) {
+		w := w
+		if e.K.Now() >= w.Arrival || e.depsT.arrived[w.ID] {
+			e.Tracer.Tracef("release", "job %d released by job %d", w.ID, jobID)
+			e.admitJob(w)
+			continue
+		}
+		e.K.Schedule(w.Arrival, func() { e.admitJob(w) })
+	}
+}
+
+// HeldJobs reports how many jobs are still waiting on precedence
+// constraints (0 when the workload has none).
+func (e *Engine) HeldJobs() int {
+	if e.depsT == nil {
+		return 0
+	}
+	return e.depsT.Held()
+}

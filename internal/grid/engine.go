@@ -1,0 +1,458 @@
+package grid
+
+import (
+	"fmt"
+
+	"rmscale/internal/routing"
+	"rmscale/internal/sim"
+	"rmscale/internal/topology"
+	"rmscale/internal/workload"
+)
+
+const (
+	defaultMaxEvents = 50_000_000
+	maxJobAttempts   = 4
+	maxJobHops       = 3
+)
+
+// Engine wires topology, routing, workload, entities and a Policy into
+// one runnable simulation.
+type Engine struct {
+	Cfg     Config
+	K       *sim.Kernel
+	Graph   *topology.Graph
+	Map     *topology.Mapping
+	Net     *routing.Matrix
+	Metrics *Metrics
+
+	Resources  []*Resource
+	Schedulers []*Scheduler
+	Estimators []*Estimator
+
+	// Tracer, when set before Run, records engine events (arrivals,
+	// dispatches, transfers, updates) for debugging and tests. Nil is
+	// free.
+	Tracer *sim.Tracer
+
+	policy Policy
+	jobs   []*workload.Job
+	src    *sim.Source
+	faults *sim.Stream
+	mw     *middleware
+	depsT  *depTracker
+
+	unfinished int // jobs dropped or stranded
+}
+
+// New builds an engine for the config and policy. The build is
+// deterministic in cfg.Seed. A central policy collapses the cluster
+// layout to a single scheduler coordinating the whole pool, keeping the
+// total resource count identical.
+func New(cfg Config, p Policy) (*Engine, error) {
+	return NewWith(cfg, p, nil)
+}
+
+// NewWith is New with an optional pre-built substrate (topology,
+// mapping, routing); tuners evaluating many enabler settings at one
+// scale factor share a substrate to avoid rebuilding routing tables.
+// Passing nil builds a fresh substrate. The substrate must match the
+// structural part of the config after the central-policy collapse.
+func NewWith(cfg Config, p Policy, sub *Substrate) (*Engine, error) {
+	if p == nil {
+		return nil, fmt.Errorf("grid: nil policy")
+	}
+	if p.Central() {
+		cfg.Spec = topology.GridSpec{
+			Clusters:    1,
+			ClusterSize: cfg.Spec.Clusters * cfg.Spec.ClusterSize,
+			Estimators:  cfg.Spec.Estimators,
+		}
+		cfg.Workload.Clusters = 1
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		Cfg:     cfg,
+		K:       sim.NewKernel(),
+		Metrics: &Metrics{},
+		policy:  p,
+		src:     sim.NewSource(cfg.Seed),
+	}
+	e.K.MaxEvents = cfg.MaxEvents
+	if e.K.MaxEvents == 0 {
+		e.K.MaxEvents = defaultMaxEvents
+	}
+
+	if sub == nil {
+		var err error
+		sub, err = BuildSubstrate(cfg)
+		if err != nil {
+			return nil, err
+		}
+	} else if !sub.Matches(cfg) {
+		return nil, fmt.Errorf("grid: substrate does not match config")
+	}
+	e.Graph = sub.Graph
+	mp := sub.Map
+	e.Map = mp
+	e.Net = sub.Net
+
+	// Entities.
+	e.Metrics.SchedulerBusy = make([]float64, cfg.Spec.Clusters)
+	e.Metrics.EstimatorBusy = make([]float64, cfg.Spec.Estimators)
+	for c := 0; c < cfg.Spec.Clusters; c++ {
+		s := &Scheduler{
+			cluster: c,
+			node:    mp.SchedulerNode[c],
+			eng:     e,
+			view:    make(map[int]*resourceView),
+			rand:    e.src.Stream(fmt.Sprintf("sched:%d", c)),
+		}
+		s.peers = buildPeers(c, cfg.Spec.Clusters, cfg.Enablers.NeighborhoodSize, s.rand)
+		e.Schedulers = append(e.Schedulers, s)
+	}
+	for r := 0; r < mp.Resources(); r++ {
+		e.Resources = append(e.Resources, &Resource{
+			id:      r,
+			node:    mp.ResourceNode[r],
+			cluster: mp.ResourceCluster[r],
+			eng:     e,
+		})
+	}
+	for i := 0; i < cfg.Spec.Estimators; i++ {
+		e.Estimators = append(e.Estimators, &Estimator{
+			id:     i,
+			node:   mp.EstimatorNode[i],
+			eng:    e,
+			buffer: make(map[int][]statusItem),
+		})
+	}
+	if p.UsesMiddleware() {
+		e.mw = &middleware{eng: e}
+	}
+	e.faults = e.src.Stream("faults")
+
+	// Workload.
+	jobs, err := workload.Generate(cfg.Workload, e.src.Stream("workload"))
+	if err != nil {
+		return nil, err
+	}
+	e.jobs = jobs
+
+	p.Attach(e)
+	return e, nil
+}
+
+// buildPeers samples a neighborhood of remote clusters.
+func buildPeers(self, clusters, size int, st *sim.Stream) []int {
+	others := make([]int, 0, clusters-1)
+	for c := 0; c < clusters; c++ {
+		if c != self {
+			others = append(others, c)
+		}
+	}
+	if size >= len(others) {
+		return others
+	}
+	idx := st.Sample(len(others), size)
+	out := make([]int, size)
+	for i, j := range idx {
+		out[i] = others[j]
+	}
+	return out
+}
+
+// Clusters returns the number of scheduler clusters.
+func (e *Engine) Clusters() int { return len(e.Schedulers) }
+
+// Policy returns the attached policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// Scheduler returns cluster c's scheduler.
+func (e *Engine) Scheduler(c int) *Scheduler { return e.Schedulers[c] }
+
+// Jobs returns the generated workload (read-only by convention).
+func (e *Engine) Jobs() []*workload.Job { return e.jobs }
+
+// UseJobs replaces the generated workload with an explicit job list —
+// e.g. one imported from a Standard Workload Format trace — before Run.
+// Jobs must be sorted by arrival and reference valid clusters.
+func (e *Engine) UseJobs(jobs []*workload.Job) error {
+	if e.K.Processed() != 0 {
+		return fmt.Errorf("grid: UseJobs after the simulation started")
+	}
+	own := make([]*workload.Job, len(jobs))
+	last := sim.Time(0)
+	for i, j := range jobs {
+		if j == nil {
+			return fmt.Errorf("grid: nil job at %d", i)
+		}
+		if j.Arrival < last {
+			return fmt.Errorf("grid: job %d arrives out of order", j.ID)
+		}
+		last = j.Arrival
+		if j.Runtime <= 0 {
+			return fmt.Errorf("grid: job %d has non-positive runtime", j.ID)
+		}
+		if j.Cluster < 0 {
+			return fmt.Errorf("grid: job %d targets negative cluster", j.ID)
+		}
+		own[i] = j
+		if j.Cluster >= e.Clusters() {
+			// A central engine has one cluster: every submission goes
+			// to the single scheduler, so remap on a private copy.
+			if e.Clusters() != 1 {
+				return fmt.Errorf("grid: job %d targets cluster %d of %d", j.ID, j.Cluster, e.Clusters())
+			}
+			cp := *j
+			cp.Cluster = 0
+			own[i] = &cp
+		}
+	}
+	e.jobs = own
+	return nil
+}
+
+// Unfinished returns jobs that were dropped or never completed.
+func (e *Engine) Unfinished() int { return e.unfinished }
+
+// Run executes the simulation to its horizon (arrivals) plus drain and
+// returns the summary. Run may be called once per engine.
+func (e *Engine) Run() Summary {
+	e.Metrics.JobsArrived = len(e.jobs)
+
+	// Status update tickers.
+	phase := e.src.Stream("phase")
+	for _, r := range e.Resources {
+		r.startUpdates(e.Cfg.Enablers.UpdateInterval, phase)
+	}
+	for _, est := range e.Estimators {
+		est.startDigests(e.Cfg.Protocol.EstimatorInterval, phase)
+	}
+	// Volunteering ticks.
+	for _, s := range e.Schedulers {
+		s := s
+		offset := phase.Uniform(0, e.Cfg.Enablers.VolunteerInterval)
+		e.K.After(offset, func() {
+			e.policy.OnTick(s)
+			sim.NewTicker(e.K, e.Cfg.Enablers.VolunteerInterval, func() { e.policy.OnTick(s) })
+		})
+	}
+	// Failure injection.
+	if e.Cfg.Faults.ResourceMTBF > 0 {
+		for _, r := range e.Resources {
+			e.scheduleCrash(r)
+		}
+	}
+	// Job arrivals: precedence-constrained workloads go through the
+	// dependency tracker; plain workloads arrive directly.
+	hasDeps := false
+	for _, j := range e.jobs {
+		if len(j.Deps) > 0 {
+			hasDeps = true
+			break
+		}
+	}
+	if hasDeps {
+		e.startWithDeps()
+	} else {
+		for _, j := range e.jobs {
+			j := j
+			e.K.Schedule(j.Arrival, func() { e.admitJob(j) })
+		}
+	}
+
+	window := e.Cfg.Horizon + e.Cfg.Drain
+	e.K.Run(window)
+	e.unfinished += e.Metrics.JobsArrived - e.Metrics.JobsCompleted - e.Metrics.JobsLost
+	return e.Metrics.Summarize(window)
+}
+
+// scheduleCrash arms the next crash of r.
+func (e *Engine) scheduleCrash(r *Resource) {
+	gap := e.faults.Exp(e.Cfg.Faults.ResourceMTBF)
+	if gap <= 0 {
+		return
+	}
+	e.K.After(gap, func() {
+		r.crash()
+		e.K.After(e.Cfg.Faults.RepairTime, func() { e.scheduleCrash(r) })
+	})
+}
+
+// delay computes the end-to-end network delay between two topology
+// nodes for a message of the given size: routed path latency scaled by
+// the LinkDelayScale enabler plus the transmission time over the
+// bottleneck link.
+func (e *Engine) delay(from, to int, size float64) sim.Time {
+	if from == to {
+		return 0
+	}
+	lat, _, bw, err := e.Net.Between(from, to)
+	if err != nil {
+		panic(fmt.Sprintf("grid: unrouted endpoints %d->%d: %v", from, to, err))
+	}
+	d := lat*e.Cfg.Enablers.LinkDelayScale + size/bw
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// sendStatusUpdate routes one resource status update to its estimator
+// (when the estimator layer exists) or directly to its scheduler.
+func (e *Engine) sendStatusUpdate(r *Resource, load float64) {
+	if e.Cfg.Faults.UpdateLossProb > 0 && e.faults.Bool(e.Cfg.Faults.UpdateLossProb) {
+		e.Metrics.UpdatesLost++
+		return
+	}
+	e.Metrics.UpdatesSent++
+	e.Tracer.Tracef("update", "resource %d load %.0f", r.id, load)
+	at := e.K.Now()
+	if len(e.Estimators) > 0 {
+		est := e.Estimators[r.id%len(e.Estimators)]
+		e.K.After(e.delay(r.node, est.node, e.Cfg.UpdateBytes), func() {
+			est.receive(r.id, load, at)
+		})
+		return
+	}
+	s := e.Schedulers[r.cluster]
+	e.K.After(e.delay(r.node, s.node, e.Cfg.UpdateBytes), func() {
+		c := e.Cfg.Costs
+		s.Exec(c.UpdateBatchBase+c.UpdatePer, func() {
+			s.mergeView(r.id, load, at)
+			e.policy.OnStatus(s, []int{r.id})
+		})
+	})
+}
+
+// broadcastDigest distributes an estimator digest to every scheduler.
+// Each scheduler pays the batch base cost plus a per-entry cost for the
+// entries belonging to its own cluster, then sees a policy OnStatus —
+// push models pay their trigger check per digest received, which is
+// what couples their overhead to the estimator count.
+func (e *Engine) broadcastDigest(est *Estimator, items []statusItem) {
+	for _, s := range e.Schedulers {
+		if e.Cfg.Faults.UpdateLossProb > 0 && e.faults.Bool(e.Cfg.Faults.UpdateLossProb) {
+			e.Metrics.UpdatesLost++
+			continue
+		}
+		e.Metrics.DigestsSent++
+		s := s
+		e.K.After(e.delay(est.node, s.node, e.Cfg.UpdateBytes*float64(len(items))), func() {
+			var own []statusItem
+			for _, it := range items {
+				if e.Map.ResourceCluster[it.rid] == s.cluster {
+					own = append(own, it)
+				}
+			}
+			c := e.Cfg.Costs
+			s.Exec(c.UpdateBatchBase+c.UpdatePer*float64(len(own)), func() {
+				updated := make([]int, 0, len(own))
+				for _, it := range own {
+					s.mergeView(it.rid, it.load, it.at)
+					updated = append(updated, it.rid)
+				}
+				e.policy.OnStatus(s, updated)
+			})
+		})
+	}
+}
+
+// deliverPolicy carries a protocol message between schedulers, via the
+// middleware queue when the policy uses one. The receiver pays a
+// Message cost before the policy handler runs.
+func (e *Engine) deliverPolicy(from *Scheduler, to int, kind int, payload any) {
+	if to < 0 || to >= len(e.Schedulers) {
+		panic(fmt.Sprintf("grid: policy message to invalid cluster %d", to))
+	}
+	e.Metrics.PolicyMsgs++
+	dst := e.Schedulers[to]
+	m := &Message{Kind: kind, From: from.cluster, To: to, Payload: payload}
+	net := e.delay(from.node, dst.node, e.Cfg.MsgBytes)
+	deliver := func() {
+		dst.ExecMsg(func() { e.policy.OnMessage(dst, m) })
+	}
+	if e.mw != nil {
+		e.mw.enqueue(net, deliver)
+		return
+	}
+	e.K.After(net, deliver)
+}
+
+// transferJob moves a job envelope to another cluster's scheduler; it
+// re-enters the policy as OnJob with Hops incremented.
+func (e *Engine) transferJob(from *Scheduler, ctx *JobCtx, to int) {
+	if ctx.Hops >= maxJobHops {
+		e.dropJob(ctx)
+		return
+	}
+	e.Metrics.JobTransfers++
+	ctx.Hops++
+	e.Tracer.Tracef("transfer", "job %d: cluster %d -> %d", ctx.Job.ID, from.cluster, to)
+	dst := e.Schedulers[to]
+	net := e.delay(from.node, dst.node, e.Cfg.JobBytes)
+	deliver := func() {
+		dst.ExecMsg(func() { e.policy.OnJob(dst, ctx) })
+	}
+	if e.mw != nil {
+		e.mw.enqueue(net, deliver)
+		return
+	}
+	e.K.After(net, deliver)
+}
+
+// sendJobToResource carries a dispatched job to its resource.
+func (e *Engine) sendJobToResource(s *Scheduler, ctx *JobCtx, rid int) {
+	r := e.Resources[rid]
+	e.Tracer.Tracef("dispatch", "job %d -> resource %d", ctx.Job.ID, rid)
+	e.K.After(e.delay(s.node, r.node, e.Cfg.JobBytes), func() {
+		r.enqueue(ctx)
+	})
+}
+
+// bounce returns a job whose resource was down to its current cluster's
+// scheduler for re-decision, or drops it after too many attempts.
+func (e *Engine) bounce(ctx *JobCtx) {
+	if ctx.Attempts >= maxJobAttempts {
+		e.dropJob(ctx)
+		return
+	}
+	s := e.Schedulers[ctx.Origin]
+	e.policy.OnJob(s, ctx)
+}
+
+// dropJob gives up on a job; it counts as lost. Dependents are
+// released — a constraint on a lost job can never be satisfied.
+func (e *Engine) dropJob(ctx *JobCtx) {
+	e.Metrics.JobsLost++
+	e.jobTerminated(ctx.Job.ID)
+}
+
+// middleware is the grid middleware of the S-I family: a single FIFO
+// queue with infinite capacity and a small, finite service time that
+// every inter-scheduler message passes through.
+type middleware struct {
+	eng       *Engine
+	busyUntil sim.Time
+}
+
+// enqueue routes a message through the middleware: network delay to the
+// middleware, FIFO service, then delivery.
+func (mw *middleware) enqueue(netDelay sim.Time, deliver func()) {
+	k := mw.eng.K
+	arrive := k.Now() + netDelay/2
+	k.Schedule(arrive, func() {
+		start := mw.busyUntil
+		if start < k.Now() {
+			start = k.Now()
+		}
+		finish := start + mw.eng.Cfg.Protocol.MiddlewareTime
+		mw.busyUntil = finish
+		mw.eng.Metrics.MiddlewareBusy += mw.eng.Cfg.Protocol.MiddlewareTime
+		k.Schedule(finish, func() {
+			k.After(netDelay/2, deliver)
+		})
+	})
+}

@@ -1,0 +1,36 @@
+package grid
+
+import "math"
+
+// MeanServiceTime returns the analytic mean job service time under the
+// configured workload and service rate: the mean of the log-uniform
+// runtime distribution, (max-min)/ln(max/min), divided by mu. The
+// superscheduler models use it to turn queue lengths into approximate
+// waiting times (AWT).
+func (e *Engine) MeanServiceTime() float64 {
+	w := e.Cfg.Workload
+	var mean float64
+	if w.RuntimeMax == w.RuntimeMin {
+		mean = w.RuntimeMin
+	} else {
+		mean = (w.RuntimeMax - w.RuntimeMin) / math.Log(w.RuntimeMax/w.RuntimeMin)
+	}
+	return mean / e.Cfg.ServiceRate
+}
+
+// AWT approximates the waiting time a new job would see at cluster c:
+// the believed load of the least loaded resource times the mean service
+// time.
+func (e *Engine) AWT(s *Scheduler) float64 {
+	_, load, ok := s.LeastLoadedLocal()
+	if !ok {
+		return math.Inf(1)
+	}
+	return load * e.MeanServiceTime()
+}
+
+// ERT is the expected run time of the job at this grid's service rate,
+// using the user's requested time as the estimate (its upper bound).
+func (e *Engine) ERT(req float64) float64 {
+	return req / e.Cfg.ServiceRate
+}

@@ -1,0 +1,105 @@
+package grid
+
+import (
+	"rmscale/internal/sim"
+)
+
+// statusItem is one buffered update inside an estimator.
+type statusItem struct {
+	rid  int
+	load float64
+	at   sim.Time
+}
+
+// Estimator is an RMS node that receives status updates from a
+// partition of the resource pool and distributes them to the scheduling
+// decision makers (the paper's Case 3 scaling variable). Resources are
+// assigned round-robin, so every estimator typically covers every
+// cluster; each digest interval it flushes one digest per covered
+// cluster. Estimator CPU time counts into G like scheduler time.
+type Estimator struct {
+	id   int
+	node int
+	eng  *Engine
+
+	busyUntil sim.Time
+	// buffer[cluster] holds updates pending digestion for that
+	// cluster's scheduler.
+	buffer map[int][]statusItem
+}
+
+// ID returns the estimator index.
+func (e *Estimator) ID() int { return e.id }
+
+// Node returns the estimator's topology node.
+func (e *Estimator) Node() int { return e.node }
+
+// exec serializes work through the estimator CPU, charging G.
+func (e *Estimator) exec(cost float64, fn func()) {
+	busy := cost / e.eng.Cfg.Costs.SchedulerSpeed
+	e.eng.Metrics.chargeEstimator(e.id, cost, busy)
+	now := e.eng.K.Now()
+	start := e.busyUntil
+	if start < now {
+		start = now
+	}
+	finish := start + busy
+	e.busyUntil = finish
+	e.eng.K.Schedule(finish, fn)
+}
+
+// receive ingests one resource update.
+func (e *Estimator) receive(rid int, load float64, at sim.Time) {
+	e.exec(e.eng.Cfg.Costs.EstimatorPer, func() {
+		cluster := e.eng.Map.ResourceCluster[rid]
+		e.buffer[cluster] = append(e.buffer[cluster], statusItem{rid: rid, load: load, at: at})
+	})
+}
+
+// flush distributes the buffered status to the scheduling decision
+// makers: one digest, broadcast to every scheduler, per digest interval
+// (the UpdateInterval enabler). This is the paper's estimator role —
+// "receive the status updates from RP resources and distribute to the
+// scheduling decision makers" — and it is why scaling up the estimator
+// layer multiplies the digest traffic every scheduler must process.
+func (e *Estimator) flush() {
+	var batch []statusItem
+	for cluster, items := range e.buffer {
+		batch = append(batch, items...)
+		delete(e.buffer, cluster)
+	}
+	// Deterministic order regardless of map iteration. An empty batch
+	// is still broadcast: the digest doubles as the dissemination
+	// heartbeat every decision maker consumes, so the layer's traffic
+	// scales with the estimator count, not with the update volume.
+	sortStatusItems(batch)
+	e.exec(e.eng.Cfg.Costs.EstimatorPer*float64(len(batch)), func() {
+		e.eng.broadcastDigest(e, batch)
+	})
+}
+
+// sortStatusItems orders a digest by (resource id, time) so broadcast
+// content is independent of map iteration order.
+func sortStatusItems(items []statusItem) {
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && less(items[j], items[j-1]); j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+}
+
+func less(a, b statusItem) bool {
+	if a.rid != b.rid {
+		return a.rid < b.rid
+	}
+	return a.at < b.at
+}
+
+// startDigests arms the periodic digest flush with a phase offset.
+func (e *Estimator) startDigests(interval float64, phase *sim.Stream) {
+	offset := phase.Uniform(0, interval)
+	e.eng.K.After(offset, func() {
+		e.flush()
+		sim.NewTicker(e.eng.K, interval, e.flush)
+	})
+}

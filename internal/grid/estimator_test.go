@@ -1,0 +1,97 @@
+package grid
+
+import (
+	"testing"
+)
+
+func estimatorEngine(t *testing.T, estimators int) (*Engine, *stubPolicy) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Spec.Estimators = estimators
+	p := &stubPolicy{}
+	e, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, p
+}
+
+func TestEstimatorHeartbeatIndependentOfUpdates(t *testing.T) {
+	// Even with a huge update interval (almost no updates), the
+	// estimator layer keeps broadcasting digests at its own cadence —
+	// the property that makes Figure 4's effect non-tunable.
+	cfg := testConfig()
+	cfg.Spec.Estimators = 2
+	cfg.Enablers.UpdateInterval = 100000 // effectively never
+	e, err := New(cfg, &stubPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	window := cfg.Horizon + cfg.Drain
+	// Two estimators, one broadcast each per EstimatorInterval, to
+	// every one of the 4 schedulers.
+	expected := int(window/cfg.Protocol.EstimatorInterval) * 2 * e.Clusters()
+	got := e.Metrics.DigestsSent
+	if got < expected/2 || got > expected+2*e.Clusters() {
+		t.Fatalf("digests = %d, want ~%d (heartbeats must not depend on tau)", got, expected)
+	}
+}
+
+func TestEstimatorDigestCarriesFreshLoads(t *testing.T) {
+	e, p := estimatorEngine(t, 2)
+	_ = p
+	e.Run()
+	// After a full run, schedulers' views must reflect resource state
+	// that travelled through the estimator layer (nonzero timestamps).
+	seen := false
+	for _, s := range e.Schedulers {
+		for _, rid := range s.LocalResources() {
+			if _, at := s.View(rid); at > 0 {
+				seen = true
+			}
+		}
+	}
+	if !seen {
+		t.Fatal("no status information reached schedulers through estimators")
+	}
+}
+
+func TestEstimatorCostsAccrueToG(t *testing.T) {
+	e, _ := estimatorEngine(t, 3)
+	e.Run()
+	total := 0.0
+	for _, b := range e.Metrics.EstimatorBusy {
+		total += b
+	}
+	if total <= 0 {
+		t.Fatal("estimator work not accounted")
+	}
+}
+
+func TestSortStatusItems(t *testing.T) {
+	items := []statusItem{
+		{rid: 3, at: 1}, {rid: 1, at: 5}, {rid: 1, at: 2}, {rid: 2, at: 0},
+	}
+	sortStatusItems(items)
+	want := []statusItem{{rid: 1, at: 2}, {rid: 1, at: 5}, {rid: 2, at: 0}, {rid: 3, at: 1}}
+	for i := range want {
+		if items[i].rid != want[i].rid || items[i].at != want[i].at {
+			t.Fatalf("sorted = %v", items)
+		}
+	}
+}
+
+func TestEstimatorLayerVsDirectEquivalentInformation(t *testing.T) {
+	// The estimator layer adds latency and cost but must not lose
+	// information: success rates with and without the layer should be
+	// in the same ballpark on the same workload.
+	direct, _ := estimatorEngine(t, 0)
+	layered, _ := estimatorEngine(t, 3)
+	a := direct.Run()
+	b := layered.Run()
+	if b.SuccessRate < a.SuccessRate-0.15 {
+		t.Fatalf("estimator layer destroyed placement quality: %v vs %v",
+			b.SuccessRate, a.SuccessRate)
+	}
+}

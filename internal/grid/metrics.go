@@ -1,0 +1,134 @@
+package grid
+
+import (
+	"fmt"
+
+	"rmscale/internal/sim"
+	"rmscale/internal/stats"
+)
+
+// Metrics accumulates the paper's accounting terms during a run and
+// derives the summary the scalability analysis consumes.
+type Metrics struct {
+	// UsefulWork is F: summed runtime of jobs that completed within
+	// their benefit bound U_b.
+	UsefulWork float64
+	// RMSOverhead is G: total scheduler + estimator busy time spent
+	// scheduling, receiving and processing updates.
+	RMSOverhead float64
+	// RPOverhead is H: job-control and data-management overhead at the
+	// resource pool.
+	RPOverhead float64
+	// WastedWork is the runtime of jobs that executed but missed their
+	// deadline; tracked separately (the paper folds neither into F).
+	WastedWork float64
+
+	JobsArrived   int
+	JobsCompleted int
+	JobsSucceeded int
+	JobsLost      int // destroyed by resource crashes
+
+	ResponseTimes stats.Accumulator // completion - arrival, all completed jobs
+	WaitTimes     stats.Accumulator // start - arrival
+
+	// Message accounting by category.
+	UpdatesSent       int
+	UpdatesSuppressed int
+	UpdatesLost       int
+	DigestsSent       int
+	PolicyMsgs        int
+	JobTransfers      int // REMOTE jobs moved between clusters
+
+	// SchedulerBusy[c] is the busy time of cluster c's scheduler, used
+	// to locate bottlenecks. EstimatorBusy likewise.
+	SchedulerBusy []float64
+	EstimatorBusy []float64
+	// MiddlewareBusy is the grid middleware queue's busy time (S-I
+	// family only); its utilization is a scalability bottleneck
+	// indicator.
+	MiddlewareBusy float64
+	// MaxSchedDelay is the worst backlog any scheduler's work queue
+	// reached: the sharpest saturation signal, since averages dilute
+	// transient overload over the drain window.
+	MaxSchedDelay float64
+}
+
+// Summary condenses a run into the numbers the scalability metric and
+// the figures need.
+type Summary struct {
+	F, G, H          float64
+	Efficiency       float64
+	Throughput       float64 // jobs completed per time unit
+	MeanResponse     float64
+	SuccessRate      float64 // succeeded / completed
+	Jobs             int
+	Wasted           float64
+	MaxSchedulerUtil float64 // busiest RMS node busy fraction, saturation flag
+	MaxSchedDelay    float64 // worst RMS work-queue backlog, saturation flag
+	MiddlewareUtil   float64 // middleware queue busy fraction
+}
+
+// Summarize derives the summary over an observation window of the given
+// length.
+func (m *Metrics) Summarize(window sim.Time) Summary {
+	s := Summary{
+		F:      m.UsefulWork,
+		G:      m.RMSOverhead,
+		H:      m.RPOverhead,
+		Jobs:   m.JobsArrived,
+		Wasted: m.WastedWork,
+	}
+	total := s.F + s.G + s.H
+	if total > 0 {
+		s.Efficiency = s.F / total
+	}
+	if window > 0 {
+		s.Throughput = float64(m.JobsCompleted) / window
+	}
+	s.MeanResponse = m.ResponseTimes.Mean()
+	if m.JobsCompleted > 0 {
+		s.SuccessRate = float64(m.JobsSucceeded) / float64(m.JobsCompleted)
+	}
+	if window > 0 {
+		max := 0.0
+		for _, b := range m.SchedulerBusy {
+			if u := b / float64(window); u > max {
+				max = u
+			}
+		}
+		for _, b := range m.EstimatorBusy {
+			if u := b / float64(window); u > max {
+				max = u
+			}
+		}
+		s.MaxSchedulerUtil = max
+		s.MiddlewareUtil = m.MiddlewareBusy / float64(window)
+	}
+	s.MaxSchedDelay = m.MaxSchedDelay
+	return s
+}
+
+// String renders the summary compactly for logs and CLIs.
+func (s Summary) String() string {
+	return fmt.Sprintf(
+		"F=%.0f G=%.0f H=%.0f E=%.3f thpt=%.4f resp=%.1f success=%.3f jobs=%d maxRMSutil=%.2f maxRMSdelay=%.1f mwUtil=%.2f",
+		s.F, s.G, s.H, s.Efficiency, s.Throughput, s.MeanResponse, s.SuccessRate, s.Jobs,
+		s.MaxSchedulerUtil, s.MaxSchedDelay, s.MiddlewareUtil)
+}
+
+// chargeScheduler adds cost to G and busy wall time (cost divided by
+// the node speed) to cluster c's scheduler.
+func (m *Metrics) chargeScheduler(c int, cost, busy float64) {
+	m.RMSOverhead += cost
+	if c >= 0 && c < len(m.SchedulerBusy) {
+		m.SchedulerBusy[c] += busy
+	}
+}
+
+// chargeEstimator adds cost to G and busy wall time to estimator e.
+func (m *Metrics) chargeEstimator(e int, cost, busy float64) {
+	m.RMSOverhead += cost
+	if e >= 0 && e < len(m.EstimatorBusy) {
+		m.EstimatorBusy[e] += busy
+	}
+}

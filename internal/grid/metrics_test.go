@@ -1,0 +1,81 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarizeEmptyRun(t *testing.T) {
+	m := &Metrics{}
+	s := m.Summarize(1000)
+	if s.Efficiency != 0 || s.Throughput != 0 || s.SuccessRate != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+	if s.MaxSchedulerUtil != 0 || s.MiddlewareUtil != 0 {
+		t.Fatalf("empty utilizations not zero: %+v", s)
+	}
+}
+
+func TestSummarizeZeroWindow(t *testing.T) {
+	m := &Metrics{UsefulWork: 10, RMSOverhead: 5, JobsCompleted: 3, JobsSucceeded: 2}
+	s := m.Summarize(0)
+	if s.Throughput != 0 {
+		t.Fatal("zero window should give zero throughput")
+	}
+	if s.Efficiency <= 0 {
+		t.Fatal("efficiency should still derive from F/G/H")
+	}
+	if s.SuccessRate != 2.0/3 {
+		t.Fatalf("success rate = %v", s.SuccessRate)
+	}
+}
+
+func TestSummarizeDerivations(t *testing.T) {
+	m := &Metrics{
+		UsefulWork:    400,
+		RMSOverhead:   100,
+		RPOverhead:    500,
+		JobsCompleted: 50,
+		JobsSucceeded: 40,
+		SchedulerBusy: []float64{10, 90},
+		EstimatorBusy: []float64{20},
+	}
+	s := m.Summarize(1000)
+	if s.Efficiency != 0.4 {
+		t.Fatalf("E = %v, want 0.4", s.Efficiency)
+	}
+	if s.Throughput != 0.05 {
+		t.Fatalf("throughput = %v", s.Throughput)
+	}
+	if s.SuccessRate != 0.8 {
+		t.Fatalf("success = %v", s.SuccessRate)
+	}
+	if s.MaxSchedulerUtil != 0.09 {
+		t.Fatalf("max util = %v, want 0.09 (busiest scheduler)", s.MaxSchedulerUtil)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{F: 1, G: 2, H: 3, Efficiency: 0.4, Jobs: 7}
+	out := s.String()
+	for _, want := range []string{"F=1", "G=2", "H=3", "E=0.400", "jobs=7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary string missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestChargeHelpersBoundsChecked(t *testing.T) {
+	m := &Metrics{SchedulerBusy: make([]float64, 2), EstimatorBusy: make([]float64, 1)}
+	// Out-of-range indices must not panic; G still accrues.
+	m.chargeScheduler(-1, 5, 1)
+	m.chargeScheduler(9, 5, 1)
+	m.chargeEstimator(7, 5, 1)
+	if m.RMSOverhead != 15 {
+		t.Fatalf("G = %v, want 15", m.RMSOverhead)
+	}
+	m.chargeScheduler(1, 4, 2)
+	if m.SchedulerBusy[1] != 2 {
+		t.Fatalf("busy = %v", m.SchedulerBusy[1])
+	}
+}

@@ -1,0 +1,45 @@
+package grid
+
+// Message is a protocol message between schedulers. Kind values are
+// policy-defined; exactly one policy runs per simulation, so kinds need
+// only be unique within a policy.
+type Message struct {
+	Kind    int
+	From    int // sending cluster
+	To      int // receiving cluster
+	Payload any
+}
+
+// Policy is a resource management system model. The grid engine owns
+// mechanism (entities, messaging, cost accounting); the policy owns the
+// protocol: what happens on job arrivals, on protocol messages, on
+// fresh status information, and on the periodic volunteering tick.
+//
+// Implementations live in the rms package: CENTRAL, LOWEST, RESERVE,
+// AUCTION, S-I, R-I and Sy-I.
+type Policy interface {
+	// Name returns the paper's model name, e.g. "LOWEST".
+	Name() string
+	// Central reports whether the model uses a single scheduler for
+	// the whole pool; the engine then collapses the cluster layout.
+	Central() bool
+	// UsesMiddleware reports whether inter-scheduler messages pass
+	// through the grid middleware queue (the S-I/R-I/Sy-I models).
+	UsesMiddleware() bool
+	// Attach is called once, after entities exist and before any
+	// event runs; policies initialize per-scheduler State here.
+	Attach(e *Engine)
+	// OnJob handles a job at a scheduler: fresh arrivals (Hops == 0),
+	// transferred jobs (Hops > 0), and bounced dispatches
+	// (Attempts > 0). The policy must eventually Dispatch the job or
+	// the engine counts it unfinished.
+	OnJob(s *Scheduler, ctx *JobCtx)
+	// OnMessage handles a protocol message addressed to s.
+	OnMessage(s *Scheduler, m *Message)
+	// OnStatus runs after fresh status information merged into s's
+	// view; updated lists the resource ids that changed. Push-style
+	// models use it to detect idle/underloaded resources.
+	OnStatus(s *Scheduler, updated []int)
+	// OnTick runs every VolunteerInterval on each scheduler.
+	OnTick(s *Scheduler)
+}

@@ -1,0 +1,264 @@
+package grid
+
+import (
+	"math"
+
+	"rmscale/internal/sim"
+	"rmscale/internal/workload"
+)
+
+// JobCtx is the envelope a job travels in while the RMS routes it.
+type JobCtx struct {
+	Job *workload.Job
+	// Origin is the submission cluster.
+	Origin int
+	// Hops counts inter-scheduler transfers; the paper's models
+	// transfer a job at most once, so policies place jobs locally once
+	// Hops > 0.
+	Hops int
+	// Attempts counts dispatch attempts (bounces off crashed
+	// resources re-enter scheduling with Attempts incremented).
+	Attempts int
+}
+
+// resourceView is a scheduler's last known state of one resource.
+type resourceView struct {
+	load float64
+	at   sim.Time
+}
+
+// Scheduler is one RMS decision maker coordinating a cluster. It is
+// itself a server: every management operation costs CPU, queues FCFS,
+// and accumulates into G.
+type Scheduler struct {
+	cluster int
+	node    int
+	eng     *Engine
+
+	busyUntil sim.Time
+	view      map[int]*resourceView // local resources only
+	peers     []int                 // neighborhood of remote clusters
+	rand      *sim.Stream
+
+	// State lets a policy hang per-scheduler protocol state here
+	// (reservations, received advertisements, open auctions, ...).
+	State any
+}
+
+// Cluster returns the cluster this scheduler coordinates.
+func (s *Scheduler) Cluster() int { return s.cluster }
+
+// Node returns the scheduler's topology node.
+func (s *Scheduler) Node() int { return s.node }
+
+// Engine returns the owning engine.
+func (s *Scheduler) Engine() *Engine { return s.eng }
+
+// Now returns the simulated time.
+func (s *Scheduler) Now() sim.Time { return s.eng.K.Now() }
+
+// Rand returns this scheduler's deterministic random stream.
+func (s *Scheduler) Rand() *sim.Stream { return s.rand }
+
+// Peers returns the scheduler's neighborhood: the remote clusters it
+// may probe, sized by the NeighborhoodSize enabler.
+func (s *Scheduler) Peers() []int { return s.peers }
+
+// RandomPeers returns up to n distinct random clusters from the
+// neighborhood.
+func (s *Scheduler) RandomPeers(n int) []int {
+	if n >= len(s.peers) {
+		out := make([]int, len(s.peers))
+		copy(out, s.peers)
+		return out
+	}
+	idx := s.rand.Sample(len(s.peers), n)
+	out := make([]int, n)
+	for i, j := range idx {
+		out[i] = s.peers[j]
+	}
+	return out
+}
+
+// LocalResources returns the resource ids of this scheduler's cluster.
+func (s *Scheduler) LocalResources() []int {
+	return s.eng.Map.ClusterResources[s.cluster]
+}
+
+// View returns the last known load of a local resource and the time the
+// information was received. Unknown resources read as load 0 at t=0.
+func (s *Scheduler) View(rid int) (load float64, at sim.Time) {
+	if v, ok := s.view[rid]; ok {
+		return v.load, v.at
+	}
+	return 0, 0
+}
+
+// mergeView installs fresh status information.
+func (s *Scheduler) mergeView(rid int, load float64, at sim.Time) {
+	v, ok := s.view[rid]
+	if !ok {
+		v = &resourceView{}
+		s.view[rid] = v
+	}
+	if at >= v.at {
+		v.load, v.at = load, at
+	}
+}
+
+// InjectView installs status information directly, bypassing the
+// update machinery. It exists for policy tests and interactive
+// exploration: production information flows arrive through updates and
+// digests.
+func (s *Scheduler) InjectView(rid int, load float64, at sim.Time) {
+	s.mergeView(rid, load, at)
+}
+
+// bumpView optimistically increments the believed load after a local
+// dispatch so back-to-back decisions do not herd onto one resource.
+func (s *Scheduler) bumpView(rid int) {
+	v, ok := s.view[rid]
+	if !ok {
+		v = &resourceView{}
+		s.view[rid] = v
+	}
+	v.load++
+}
+
+// LeastLoadedLocal returns the local resource with the lowest believed
+// load. The boolean is false for an empty cluster (cannot happen in
+// valid configurations, but policies stay defensive).
+func (s *Scheduler) LeastLoadedLocal() (rid int, load float64, ok bool) {
+	best, bestLoad := -1, math.Inf(1)
+	for _, r := range s.LocalResources() {
+		l, _ := s.View(r)
+		if l < bestLoad {
+			best, bestLoad = r, l
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return best, bestLoad, true
+}
+
+// AvgLocalLoad returns the mean believed load over the cluster.
+func (s *Scheduler) AvgLocalLoad() float64 {
+	rs := s.LocalResources()
+	if len(rs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rs {
+		l, _ := s.View(r)
+		sum += l
+	}
+	return sum / float64(len(rs))
+}
+
+// MaxLocalLoad returns the highest believed load over the cluster.
+func (s *Scheduler) MaxLocalLoad() float64 {
+	max := 0.0
+	for _, r := range s.LocalResources() {
+		if l, _ := s.View(r); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Utilization estimates the cluster's resource utilization status (RUS
+// in the paper's S-I/R-I models): the fraction of resources with any
+// believed load.
+func (s *Scheduler) Utilization() float64 {
+	rs := s.LocalResources()
+	if len(rs) == 0 {
+		return 0
+	}
+	busy := 0
+	for _, r := range rs {
+		if l, _ := s.View(r); l > 0 {
+			busy++
+		}
+	}
+	return float64(busy) / float64(len(rs))
+}
+
+// Exec serializes cost units of work through the scheduler's CPU and
+// runs fn when the work retires. The cost accrues to G immediately (it
+// is committed work); queueing delay emerges from the busyUntil chain,
+// which is what saturates a central scheduler at scale.
+func (s *Scheduler) Exec(cost float64, fn func()) {
+	if cost < 0 {
+		panic("grid: negative exec cost")
+	}
+	busy := cost / s.eng.Cfg.Costs.SchedulerSpeed
+	s.eng.Metrics.chargeScheduler(s.cluster, cost, busy)
+	now := s.eng.K.Now()
+	start := s.busyUntil
+	if start < now {
+		start = now
+	} else if d := float64(start - now); d > s.eng.Metrics.MaxSchedDelay {
+		s.eng.Metrics.MaxSchedDelay = d
+	}
+	finish := start + busy
+	s.busyUntil = finish
+	s.eng.K.Schedule(finish, fn)
+}
+
+// QueueDelay reports how far behind the scheduler's CPU currently is.
+func (s *Scheduler) QueueDelay() sim.Time {
+	d := s.busyUntil - s.eng.K.Now()
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// ExecDecision runs fn after charging one scheduling decision that
+// scanned the given number of candidates.
+func (s *Scheduler) ExecDecision(candidates int, fn func()) {
+	c := s.eng.Cfg.Costs
+	s.Exec(c.DecisionBase+c.DecisionPer*float64(candidates), fn)
+}
+
+// ExecMsg runs fn after charging one protocol message processing cost.
+func (s *Scheduler) ExecMsg(fn func()) {
+	s.Exec(s.eng.Cfg.Costs.Message, fn)
+}
+
+// Dispatch sends the job to a local resource, optimistically bumping the
+// believed load. The job-control overhead lands in H at the resource.
+func (s *Scheduler) Dispatch(ctx *JobCtx, rid int) {
+	ctx.Attempts++
+	s.bumpView(rid)
+	s.eng.sendJobToResource(s, ctx, rid)
+}
+
+// DispatchLeastLoaded charges a full-cluster decision scan and sends the
+// job to the believed least loaded local resource.
+func (s *Scheduler) DispatchLeastLoaded(ctx *JobCtx) {
+	n := len(s.LocalResources())
+	s.ExecDecision(n, func() {
+		rid, _, ok := s.LeastLoadedLocal()
+		if !ok {
+			s.eng.dropJob(ctx)
+			return
+		}
+		s.Dispatch(ctx, rid)
+	})
+}
+
+// SendPolicy sends a protocol message to another cluster's scheduler.
+// The send consumes scheduler CPU (Message cost) before the message
+// enters the network; the receive charges another Message cost before
+// the policy sees it.
+func (s *Scheduler) SendPolicy(to int, kind int, payload any) {
+	s.ExecMsg(func() { s.eng.deliverPolicy(s, to, kind, payload) })
+}
+
+// TransferJob moves the job to a remote cluster's scheduler; it arrives
+// as a policy OnJob call with Hops incremented.
+func (s *Scheduler) TransferJob(ctx *JobCtx, to int) {
+	s.ExecMsg(func() { s.eng.transferJob(s, ctx, to) })
+}

@@ -1,0 +1,117 @@
+package grid
+
+import (
+	"fmt"
+	"sync"
+
+	"rmscale/internal/routing"
+	"rmscale/internal/sim"
+	"rmscale/internal/topology"
+)
+
+// Substrate is the expensive, enabler-independent part of a simulation
+// build: the topology graph, the grid role mapping, and the all-pairs
+// routing tables. The scaling enablers (update interval, neighbourhood
+// size, link delay scale, volunteering interval) do not affect it, so a
+// tuner evaluating many enabler settings at the same scale factor can
+// build the substrate once and share it across evaluations.
+type Substrate struct {
+	Graph *topology.Graph
+	Map   *topology.Mapping
+	Net   *routing.Matrix
+
+	seed  int64
+	nodes int
+	m     int
+	spec  topology.GridSpec
+	links topology.LinkParams
+}
+
+// BuildSubstrate constructs the substrate for a config. It is
+// deterministic in cfg.Seed and the structural fields of cfg.
+func BuildSubstrate(cfg Config) (*Substrate, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := cfg.TopoNodes
+	if nodes == 0 {
+		nodes = cfg.Spec.Nodes() + cfg.Spec.Nodes()/5
+	}
+	m := cfg.TopoM
+	if m == 0 {
+		m = 2
+	}
+	src := sim.NewSource(cfg.Seed)
+	g, err := topology.PowerLaw(nodes, m, cfg.Links, src.Stream("topo"))
+	if err != nil {
+		return nil, err
+	}
+	mp, err := topology.MapGrid(g, cfg.Spec, src.Stream("map"))
+	if err != nil {
+		return nil, err
+	}
+	endpoints := append([]int(nil), mp.SchedulerNode...)
+	endpoints = append(endpoints, mp.ResourceNode...)
+	endpoints = append(endpoints, mp.EstimatorNode...)
+	net, err := routing.AllPairs(g, endpoints)
+	if err != nil {
+		return nil, err
+	}
+	return &Substrate{
+		Graph: g, Map: mp, Net: net,
+		seed: cfg.Seed, nodes: nodes, m: m, spec: cfg.Spec, links: cfg.Links,
+	}, nil
+}
+
+// Matches reports whether the substrate was built for the structural
+// part of cfg (after any central-policy collapse).
+func (s *Substrate) Matches(cfg Config) bool {
+	nodes := cfg.TopoNodes
+	if nodes == 0 {
+		nodes = cfg.Spec.Nodes() + cfg.Spec.Nodes()/5
+	}
+	m := cfg.TopoM
+	if m == 0 {
+		m = 2
+	}
+	return s.seed == cfg.Seed && s.nodes == nodes && s.m == m &&
+		s.spec == cfg.Spec && s.links == cfg.Links
+}
+
+// SubstrateCache memoizes substrates keyed by their structural
+// parameters. It is safe for concurrent use by parallel tuners.
+type SubstrateCache struct {
+	mu sync.Mutex
+	m  map[string]*Substrate
+}
+
+// NewSubstrateCache returns an empty cache.
+func NewSubstrateCache() *SubstrateCache {
+	return &SubstrateCache{m: make(map[string]*Substrate)}
+}
+
+// Get returns the substrate for cfg, building it on first use.
+func (c *SubstrateCache) Get(cfg Config) (*Substrate, error) {
+	key := fmt.Sprintf("%d|%d|%d|%+v|%+v", cfg.Seed, cfg.TopoNodes, cfg.TopoM, cfg.Spec, cfg.Links)
+	c.mu.Lock()
+	s, ok := c.m[key]
+	c.mu.Unlock()
+	if ok {
+		return s, nil
+	}
+	s, err := BuildSubstrate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.m[key] = s
+	c.mu.Unlock()
+	return s, nil
+}
+
+// Len reports how many substrates are cached.
+func (c *SubstrateCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,40 @@
+package grid
+
+import (
+	"testing"
+
+	"rmscale/internal/sim"
+)
+
+func TestEngineTracing(t *testing.T) {
+	e, err := New(testConfig(), &stubPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Tracer = sim.NewTracer(e.K, 0)
+	e.Run()
+	if e.Tracer.Count("arrival") != e.Metrics.JobsArrived {
+		t.Fatalf("traced %d arrivals for %d jobs",
+			e.Tracer.Count("arrival"), e.Metrics.JobsArrived)
+	}
+	if e.Tracer.Count("dispatch") < e.Metrics.JobsArrived {
+		t.Fatalf("traced %d dispatches for %d jobs",
+			e.Tracer.Count("dispatch"), e.Metrics.JobsArrived)
+	}
+	if e.Tracer.Count("update") != e.Metrics.UpdatesSent {
+		t.Fatalf("traced %d updates, metrics say %d",
+			e.Tracer.Count("update"), e.Metrics.UpdatesSent)
+	}
+}
+
+func TestEngineWithoutTracerIsSilent(t *testing.T) {
+	e, err := New(testConfig(), &stubPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nil tracer must be safe end to end.
+	e.Run()
+	if e.Tracer.Count("arrival") != 0 {
+		t.Fatal("nil tracer recorded events")
+	}
+}

@@ -1,0 +1,46 @@
+package rms
+
+import (
+	"rmscale/internal/grid"
+	"rmscale/internal/workload"
+)
+
+const localClass = workload.Local
+
+// Central is the paper's CENTRAL model: a single scheduler makes
+// decisions for every resource in the system, receiving periodic
+// (change-suppressed) updates from all of them. Every decision scans the
+// full pool, which is what makes the model cheap at small scale and
+// unscalable at large scale.
+type Central struct{}
+
+// NewCentral returns the CENTRAL model.
+func NewCentral() *Central { return &Central{} }
+
+// Name implements grid.Policy.
+func (*Central) Name() string { return "CENTRAL" }
+
+// Central implements grid.Policy: the engine collapses the cluster
+// layout to one scheduler.
+func (*Central) Central() bool { return true }
+
+// UsesMiddleware implements grid.Policy.
+func (*Central) UsesMiddleware() bool { return false }
+
+// Attach implements grid.Policy.
+func (*Central) Attach(*grid.Engine) {}
+
+// OnJob schedules every job on the believed least loaded resource of
+// the whole pool.
+func (*Central) OnJob(s *grid.Scheduler, ctx *grid.JobCtx) {
+	placeLocally(s, ctx)
+}
+
+// OnMessage implements grid.Policy; CENTRAL has no protocol messages.
+func (*Central) OnMessage(*grid.Scheduler, *grid.Message) {}
+
+// OnStatus implements grid.Policy.
+func (*Central) OnStatus(*grid.Scheduler, []int) {}
+
+// OnTick implements grid.Policy.
+func (*Central) OnTick(*grid.Scheduler) {}

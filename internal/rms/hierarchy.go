@@ -1,0 +1,130 @@
+package rms
+
+import (
+	"rmscale/internal/grid"
+	"rmscale/internal/sim"
+)
+
+// Message kinds for HIERARCHY.
+const (
+	msgHierReport = iota + 300 // cluster scheduler -> root: average load
+)
+
+// hierReport is a cluster's periodic load report to the root.
+type hierReport struct {
+	cluster int
+	avg     float64
+}
+
+// hierState is per-scheduler HIERARCHY state; only the root uses the
+// cluster-load table.
+type hierState struct {
+	clusterLoad map[int]float64
+	reportedAt  map[int]sim.Time
+}
+
+// Hierarchy is an extension beyond the paper's seven models,
+// implementing its future-work item (a): a two-level RMS architecture.
+// Cluster schedulers place LOCAL jobs themselves and forward REMOTE
+// jobs to a root scheduler (the scheduler of cluster 0), which keeps a
+// global table of cluster average loads fed by periodic reports and
+// routes each forwarded job to the least loaded cluster. The root
+// concentrates less state than CENTRAL (per-cluster averages, not
+// per-resource loads) and far fewer messages than the flat polling
+// models — the classic hierarchical trade.
+type Hierarchy struct{}
+
+// NewHierarchy returns the two-level extension model.
+func NewHierarchy() *Hierarchy { return &Hierarchy{} }
+
+// Name implements grid.Policy.
+func (*Hierarchy) Name() string { return "HIERARCHY" }
+
+// Central implements grid.Policy: the grid keeps its clusters; only the
+// routing is centralized.
+func (*Hierarchy) Central() bool { return false }
+
+// UsesMiddleware implements grid.Policy.
+func (*Hierarchy) UsesMiddleware() bool { return false }
+
+// rootCluster is the cluster whose scheduler acts as the routing root.
+const rootCluster = 0
+
+// Attach initializes the root's global table.
+func (*Hierarchy) Attach(e *grid.Engine) {
+	for c := 0; c < e.Clusters(); c++ {
+		e.Scheduler(c).State = &hierState{
+			clusterLoad: make(map[int]float64),
+			reportedAt:  make(map[int]sim.Time),
+		}
+	}
+}
+
+// OnTick sends the periodic cluster load report to the root.
+func (*Hierarchy) OnTick(s *grid.Scheduler) {
+	if s.Cluster() == rootCluster {
+		return
+	}
+	s.ExecDecision(len(s.LocalResources()), func() {
+		s.SendPolicy(rootCluster, msgHierReport, hierReport{
+			cluster: s.Cluster(),
+			avg:     s.AvgLocalLoad(),
+		})
+	})
+}
+
+// OnJob places LOCAL jobs locally; REMOTE jobs go up to the root, which
+// routes them down to the least loaded cluster.
+func (h *Hierarchy) OnJob(s *grid.Scheduler, ctx *grid.JobCtx) {
+	switch {
+	case ctx.Job.Class == localClass || ctx.Attempts > 0:
+		placeLocally(s, ctx)
+	case s.Cluster() == rootCluster && ctx.Hops <= 1:
+		// At the root (either submitted here or forwarded up): route.
+		h.route(s, ctx)
+	case ctx.Hops == 0:
+		// REMOTE job at a leaf: forward to the root for routing.
+		s.TransferJob(ctx, rootCluster)
+	default:
+		// Routed down (or hop budget spent): execute here.
+		placeLocally(s, ctx)
+	}
+}
+
+// route picks the least loaded cluster from the root's table. The
+// root's own cluster competes with its believed local average.
+func (*Hierarchy) route(s *grid.Scheduler, ctx *grid.JobCtx) {
+	st := s.State.(*hierState)
+	s.ExecDecision(len(st.clusterLoad)+1, func() {
+		best := rootCluster
+		bestLoad := s.AvgLocalLoad()
+		for c, l := range st.clusterLoad {
+			if l < bestLoad || (l == bestLoad && c < best) {
+				best, bestLoad = c, l
+			}
+		}
+		if best == s.Cluster() {
+			placeLocally(s, ctx)
+			return
+		}
+		// Optimistically bump the routed cluster's believed average so
+		// bursts spread instead of herding.
+		rs := float64(len(s.LocalResources()))
+		st.clusterLoad[best] += 1 / rs
+		s.TransferJob(ctx, best)
+	})
+}
+
+// OnMessage ingests cluster reports at the root.
+func (*Hierarchy) OnMessage(s *grid.Scheduler, m *grid.Message) {
+	if m.Kind != msgHierReport || s.Cluster() != rootCluster {
+		return
+	}
+	r := m.Payload.(hierReport)
+	st := s.State.(*hierState)
+	st.clusterLoad[r.cluster] = r.avg
+	st.reportedAt[r.cluster] = s.Now()
+}
+
+// OnStatus implements grid.Policy.
+func (*Hierarchy) OnStatus(*grid.Scheduler, []int) {}

@@ -1,0 +1,117 @@
+package rms
+
+import (
+	"testing"
+
+	"rmscale/internal/grid"
+)
+
+func TestHierarchyNotInPaperRoster(t *testing.T) {
+	for _, n := range Names() {
+		if n == "HIERARCHY" {
+			t.Fatal("HIERARCHY is an extension, not one of the paper's seven models")
+		}
+	}
+}
+
+func TestHierarchyEndToEnd(t *testing.T) {
+	cfg := smallConfig()
+	e, err := grid.New(cfg, NewHierarchy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := e.Run()
+	m := e.Metrics
+	t.Logf("HIERARCHY: %v transfers=%d msgs=%d", sum, m.JobTransfers, m.PolicyMsgs)
+	if m.JobsCompleted+m.JobsLost+e.Unfinished() != m.JobsArrived {
+		t.Fatal("job conservation violated")
+	}
+	if m.PolicyMsgs == 0 {
+		t.Fatal("no cluster reports flowed to the root")
+	}
+	if m.JobTransfers == 0 {
+		t.Fatal("no REMOTE jobs moved through the hierarchy")
+	}
+	if frac := float64(m.JobsCompleted) / float64(m.JobsArrived); frac < 0.9 {
+		t.Fatalf("only %.2f completed", frac)
+	}
+}
+
+func TestHierarchyLocalStaysLocal(t *testing.T) {
+	p := NewHierarchy()
+	e := protoEngine(t, p, 3, 3)
+	p.OnJob(e.Scheduler(1), localJob(1, 1))
+	e.K.Run(3000)
+	if e.Metrics.JobTransfers != 0 {
+		t.Fatal("LOCAL job travelled the hierarchy")
+	}
+	if e.Metrics.JobsCompleted != 1 {
+		t.Fatal("LOCAL job not completed")
+	}
+}
+
+func TestHierarchyRemoteRoutesViaRoot(t *testing.T) {
+	p := NewHierarchy()
+	e := protoEngine(t, p, 3, 3)
+	// Give the root a table: cluster 2 idle, cluster 1 loaded.
+	root := e.Scheduler(0)
+	p.OnMessage(root, &grid.Message{Kind: msgHierReport, From: 1, To: 0,
+		Payload: hierReport{cluster: 1, avg: 5}})
+	p.OnMessage(root, &grid.Message{Kind: msgHierReport, From: 2, To: 0,
+		Payload: hierReport{cluster: 2, avg: 0}})
+	// Load the root's own cluster view so it does not win the route.
+	loadCluster(e, 0, 3)
+
+	// A REMOTE job submitted at loaded cluster 1 must reach cluster 2.
+	p.OnJob(e.Scheduler(1), remoteJob(7, 1))
+	e.K.Run(6000)
+	// Two transfers: leaf -> root, root -> cluster 2.
+	if e.Metrics.JobTransfers != 2 {
+		t.Fatalf("transfers = %d, want 2", e.Metrics.JobTransfers)
+	}
+	if e.Metrics.JobsCompleted != 1 {
+		t.Fatal("routed job not completed")
+	}
+	// The routed cluster must actually have executed it: its resources
+	// saw load.
+	busySeen := false
+	for _, rid := range e.Scheduler(2).LocalResources() {
+		if l, _ := e.Scheduler(2).View(rid); l > 0 {
+			busySeen = true
+		}
+	}
+	if !busySeen {
+		t.Fatal("cluster 2 never saw the routed job")
+	}
+}
+
+func TestHierarchyRootKeepsJobWhenBest(t *testing.T) {
+	p := NewHierarchy()
+	e := protoEngine(t, p, 3, 3)
+	root := e.Scheduler(0)
+	p.OnMessage(root, &grid.Message{Kind: msgHierReport, From: 1, To: 0,
+		Payload: hierReport{cluster: 1, avg: 4}})
+	p.OnMessage(root, &grid.Message{Kind: msgHierReport, From: 2, To: 0,
+		Payload: hierReport{cluster: 2, avg: 4}})
+	// Root cluster idle: a REMOTE job submitted at the root stays.
+	p.OnJob(root, remoteJob(7, 0))
+	e.K.Run(5000)
+	if e.Metrics.JobTransfers != 0 {
+		t.Fatalf("root exported a job it should keep (transfers %d)", e.Metrics.JobTransfers)
+	}
+}
+
+func TestHierarchyReportsFlow(t *testing.T) {
+	p := NewHierarchy()
+	e := protoEngine(t, p, 3, 3)
+	p.OnTick(e.Scheduler(1))
+	p.OnTick(e.Scheduler(0)) // root does not report to itself
+	e.K.Run(2000)
+	st := e.Scheduler(0).State.(*hierState)
+	if _, ok := st.clusterLoad[1]; !ok {
+		t.Fatal("root never received cluster 1's report")
+	}
+	if _, ok := st.clusterLoad[0]; ok {
+		t.Fatal("root reported to itself")
+	}
+}

@@ -1,0 +1,140 @@
+package rms
+
+import (
+	"math"
+
+	"rmscale/internal/grid"
+)
+
+// Message kinds for LOWEST.
+const (
+	msgLowestPoll = iota
+	msgLowestReply
+)
+
+// lowestPoll is the payload of a poll and its reply.
+type lowestPoll struct {
+	id      int
+	minLoad float64 // reply: polled cluster's least believed load
+}
+
+// lowestSession tracks one outstanding REMOTE-job poll.
+type lowestSession struct {
+	ctx      *grid.JobCtx
+	expected int
+	bestFrom int
+	bestLoad float64
+	replies  int
+}
+
+// lowestState is the per-scheduler state of the LOWEST model.
+type lowestState struct {
+	nextID   int
+	sessions map[int]*lowestSession
+}
+
+// lowest lets composite states (AUCTION embeds lowestState) expose the
+// LOWEST portion to the shared handlers.
+func (st *lowestState) lowest() *lowestState { return st }
+
+// hasLowestState is satisfied by lowestState and anything embedding it.
+type hasLowestState interface{ lowest() *lowestState }
+
+// Lowest is the paper's LOWEST model (after Zhou's trace-driven study):
+// per-cluster schedulers with periodic updates; a LOCAL job goes to the
+// least loaded local resource; a REMOTE job polls L_p randomly selected
+// remote schedulers and is transferred to the one with the least loaded
+// resources, if that beats staying local.
+type Lowest struct{}
+
+// NewLowest returns the LOWEST model.
+func NewLowest() *Lowest { return &Lowest{} }
+
+// Name implements grid.Policy.
+func (*Lowest) Name() string { return "LOWEST" }
+
+// Central implements grid.Policy.
+func (*Lowest) Central() bool { return false }
+
+// UsesMiddleware implements grid.Policy.
+func (*Lowest) UsesMiddleware() bool { return false }
+
+// Attach initializes per-scheduler poll bookkeeping.
+func (*Lowest) Attach(e *grid.Engine) {
+	for c := 0; c < e.Clusters(); c++ {
+		e.Scheduler(c).State = &lowestState{sessions: make(map[int]*lowestSession)}
+	}
+}
+
+// OnJob places LOCAL jobs locally and polls for REMOTE jobs.
+func (*Lowest) OnJob(s *grid.Scheduler, ctx *grid.JobCtx) {
+	if mustPlaceLocally(s, ctx) {
+		placeLocally(s, ctx)
+		return
+	}
+	st := s.State.(hasLowestState).lowest()
+	peers := s.RandomPeers(s.Engine().Cfg.Protocol.Lp)
+	if len(peers) == 0 {
+		placeLocally(s, ctx)
+		return
+	}
+	id := st.nextID
+	st.nextID++
+	st.sessions[id] = &lowestSession{
+		ctx:      ctx,
+		expected: len(peers),
+		bestFrom: -1,
+		bestLoad: math.Inf(1),
+	}
+	for _, p := range peers {
+		s.SendPolicy(p, msgLowestPoll, lowestPoll{id: id})
+	}
+}
+
+// OnMessage answers polls and resolves completed poll sessions.
+func (*Lowest) OnMessage(s *grid.Scheduler, m *grid.Message) {
+	switch m.Kind {
+	case msgLowestPoll:
+		p := m.Payload.(lowestPoll)
+		// Answering a poll is cheap: Zhou's scheme replies with the
+		// cached lowest load, no cluster rescan.
+		s.Exec(s.Engine().Cfg.Costs.DecisionBase, func() {
+			_, load, ok := s.LeastLoadedLocal()
+			if !ok {
+				load = math.Inf(1)
+			}
+			s.SendPolicy(m.From, msgLowestReply, lowestPoll{id: p.id, minLoad: load})
+		})
+	case msgLowestReply:
+		p := m.Payload.(lowestPoll)
+		st := s.State.(hasLowestState).lowest()
+		sess, ok := st.sessions[p.id]
+		if !ok {
+			return
+		}
+		sess.replies++
+		if p.minLoad < sess.bestLoad {
+			sess.bestLoad, sess.bestFrom = p.minLoad, m.From
+		}
+		if sess.replies < sess.expected {
+			return
+		}
+		delete(st.sessions, p.id)
+		// Final decision: a cheap min-compare of the L_p replies
+		// against the cached local minimum.
+		s.ExecDecision(sess.expected, func() {
+			_, localLoad, ok := s.LeastLoadedLocal()
+			if ok && localLoad <= sess.bestLoad || sess.bestFrom < 0 {
+				placeLocally(s, sess.ctx)
+				return
+			}
+			s.TransferJob(sess.ctx, sess.bestFrom)
+		})
+	}
+}
+
+// OnStatus implements grid.Policy; LOWEST is purely pull-based.
+func (*Lowest) OnStatus(*grid.Scheduler, []int) {}
+
+// OnTick implements grid.Policy.
+func (*Lowest) OnTick(*grid.Scheduler) {}

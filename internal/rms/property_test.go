@@ -1,0 +1,77 @@
+package rms
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmscale/internal/grid"
+)
+
+// TestJobConservationProperty fuzzes grid shapes, loads and fault
+// settings across every model and checks the accounting invariants the
+// whole framework rests on: jobs are conserved, efficiencies stay in
+// (0,1), and F/G/H stay non-negative.
+func TestJobConservationProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property fuzz is slow")
+	}
+	models := All()
+	models = append(models, NewHierarchy())
+	i := 0
+	f := func(cl, sz, utilRaw, seed uint8, faults bool) bool {
+		i++
+		p := models[i%len(models)]
+		cfg := grid.DefaultConfig()
+		cfg.Seed = int64(seed) + 1
+		cfg.Spec.Clusters = 2 + int(cl%5)
+		cfg.Spec.ClusterSize = 2 + int(sz%6)
+		cfg.Workload.Clusters = cfg.Spec.Clusters
+		util := 0.3 + float64(utilRaw%60)/100 // 0.3 .. 0.89
+		resources := float64(cfg.Spec.Clusters * cfg.Spec.ClusterSize)
+		cfg.Workload.ArrivalRate = util * resources / 524.2
+		cfg.Workload.Horizon = 800
+		cfg.Horizon = 800
+		cfg.Drain = 1500
+		if faults {
+			cfg.Faults.ResourceMTBF = 1500
+			cfg.Faults.RepairTime = 150
+			cfg.Faults.UpdateLossProb = 0.1
+		}
+		fresh, err := ByName(p.Name())
+		if err != nil {
+			fresh = NewHierarchy() // HIERARCHY is not in the roster
+		}
+		e, err := grid.New(cfg, fresh)
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return false
+		}
+		sum := e.Run()
+		m := e.Metrics
+		if m.JobsCompleted+m.JobsLost+e.Unfinished() != m.JobsArrived {
+			t.Logf("%s: conservation broken: %d+%d+%d != %d", fresh.Name(),
+				m.JobsCompleted, m.JobsLost, e.Unfinished(), m.JobsArrived)
+			return false
+		}
+		if sum.F < 0 || sum.G < 0 || sum.H < 0 {
+			t.Logf("%s: negative accounting %+v", fresh.Name(), sum)
+			return false
+		}
+		if m.JobsArrived > 0 && (sum.Efficiency < 0 || sum.Efficiency >= 1) {
+			t.Logf("%s: efficiency %v out of range", fresh.Name(), sum.Efficiency)
+			return false
+		}
+		if m.JobsSucceeded > m.JobsCompleted {
+			t.Logf("%s: more successes than completions", fresh.Name())
+			return false
+		}
+		if e.K.Overflowed {
+			t.Logf("%s: event overflow", fresh.Name())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 32}); err != nil {
+		t.Fatal(err)
+	}
+}

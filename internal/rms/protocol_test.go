@@ -1,0 +1,334 @@
+package rms
+
+import (
+	"testing"
+
+	"rmscale/internal/grid"
+	"rmscale/internal/topology"
+	"rmscale/internal/workload"
+)
+
+// protoEngine builds a small quiet grid (negligible background arrivals)
+// so tests can inject jobs and drive protocols deterministically.
+func protoEngine(t *testing.T, p grid.Policy, clusters, size int) *grid.Engine {
+	t.Helper()
+	cfg := grid.DefaultConfig()
+	cfg.Spec = topology.GridSpec{Clusters: clusters, ClusterSize: size}
+	cfg.Workload.Clusters = clusters
+	cfg.Workload.ArrivalRate = 1e-6 // effectively no background jobs
+	cfg.Workload.Horizon = 100
+	cfg.Horizon = 100
+	cfg.Drain = 3000
+	e, err := grid.New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// localJob crafts a LOCAL-class job envelope.
+func localJob(id int, cluster int) *grid.JobCtx {
+	return &grid.JobCtx{
+		Job: &workload.Job{
+			ID: id, Runtime: 100, Requested: 150, Benefit: 5,
+			Partition: 1, Cluster: cluster, Class: workload.Local,
+		},
+		Origin: cluster,
+	}
+}
+
+// remoteJob crafts a REMOTE-class job envelope (runtime above T_CPU).
+func remoteJob(id int, cluster int) *grid.JobCtx {
+	return &grid.JobCtx{
+		Job: &workload.Job{
+			ID: id, Runtime: 900, Requested: 1200, Benefit: 5,
+			Partition: 1, Cluster: cluster, Class: workload.Remote,
+		},
+		Origin: cluster,
+	}
+}
+
+// loadCluster pushes the believed load of every resource in a cluster.
+func loadCluster(e *grid.Engine, cluster int, load float64) {
+	s := e.Scheduler(cluster)
+	for _, rid := range s.LocalResources() {
+		s.InjectView(rid, load, e.K.Now())
+	}
+}
+
+func TestLowestLocalJobStaysLocal(t *testing.T) {
+	p := NewLowest()
+	e := protoEngine(t, p, 3, 3)
+	p.OnJob(e.Scheduler(0), localJob(1, 0))
+	e.K.Run(3000)
+	if e.Metrics.JobTransfers != 0 {
+		t.Fatal("LOCAL job was transferred")
+	}
+	if e.Metrics.PolicyMsgs != 0 {
+		t.Fatal("LOCAL job triggered polls")
+	}
+	if e.Metrics.JobsCompleted != 1 {
+		t.Fatalf("completed = %d", e.Metrics.JobsCompleted)
+	}
+}
+
+func TestLowestRemoteJobPollsLp(t *testing.T) {
+	p := NewLowest()
+	e := protoEngine(t, p, 4, 3)
+	// Make the home cluster look fully loaded so the job moves.
+	loadCluster(e, 0, 5)
+	p.OnJob(e.Scheduler(0), remoteJob(1, 0))
+	e.K.Run(5000)
+	lp := e.Cfg.Protocol.Lp
+	// Lp polls + Lp replies, at minimum.
+	if e.Metrics.PolicyMsgs < 2*lp {
+		t.Fatalf("policy messages = %d, want >= %d", e.Metrics.PolicyMsgs, 2*lp)
+	}
+	if e.Metrics.JobTransfers != 1 {
+		t.Fatalf("transfers = %d, want 1 (loaded home cluster)", e.Metrics.JobTransfers)
+	}
+	if e.Metrics.JobsCompleted != 1 {
+		t.Fatalf("completed = %d", e.Metrics.JobsCompleted)
+	}
+}
+
+func TestLowestPrefersLocalOnTie(t *testing.T) {
+	p := NewLowest()
+	e := protoEngine(t, p, 4, 3)
+	// Everything idle: remote minima equal local minimum, stay home.
+	p.OnJob(e.Scheduler(0), remoteJob(1, 0))
+	e.K.Run(5000)
+	if e.Metrics.JobTransfers != 0 {
+		t.Fatal("idle tie should stay local")
+	}
+}
+
+func TestLowestTransferredJobPlacedImmediately(t *testing.T) {
+	p := NewLowest()
+	e := protoEngine(t, p, 3, 3)
+	ctx := remoteJob(1, 0)
+	ctx.Hops = 1 // already transferred once
+	p.OnJob(e.Scheduler(1), ctx)
+	e.K.Run(3000)
+	if e.Metrics.PolicyMsgs != 0 {
+		t.Fatal("transferred job re-polled")
+	}
+	if e.Metrics.JobsCompleted != 1 {
+		t.Fatal("transferred job not placed")
+	}
+}
+
+func TestReserveAdvertiseAndTransfer(t *testing.T) {
+	p := NewReserve()
+	e := protoEngine(t, p, 3, 3)
+	// Cluster 1 is idle: its tick advertises reservations. Force the
+	// tick directly for determinism, and probe before the reservation
+	// TTL (400) expires.
+	p.OnTick(e.Scheduler(1))
+	e.K.Run(50)
+	if e.Metrics.PolicyMsgs == 0 {
+		t.Fatal("underloaded cluster did not advertise")
+	}
+	// Load cluster 0's view so it is above T_l and must use the book.
+	loadCluster(e, 0, 4)
+	before := e.Metrics.JobTransfers
+	p.OnJob(e.Scheduler(0), remoteJob(1, 0))
+	e.K.Run(6000)
+	if e.Metrics.JobTransfers != before+1 {
+		t.Fatalf("reservation probe did not move the job (transfers %d)", e.Metrics.JobTransfers)
+	}
+	if e.Metrics.JobsCompleted != 1 {
+		t.Fatalf("completed = %d", e.Metrics.JobsCompleted)
+	}
+}
+
+func TestReserveStaysLocalWhenUnderloaded(t *testing.T) {
+	p := NewReserve()
+	e := protoEngine(t, p, 3, 3)
+	// Home cluster idle: avg <= T_l, keep the job local.
+	p.OnJob(e.Scheduler(0), remoteJob(1, 0))
+	e.K.Run(4000)
+	if e.Metrics.JobTransfers != 0 {
+		t.Fatal("underloaded cluster exported a job")
+	}
+}
+
+func TestAuctionFlowMovesWaitingJob(t *testing.T) {
+	p := NewAuction()
+	e := protoEngine(t, p, 3, 3)
+	// Overload cluster 1 with real queued jobs so it can bid and lose
+	// a waiting job.
+	s1 := e.Scheduler(1)
+	rid := s1.LocalResources()[0]
+	for i := 0; i < 3; i++ {
+		s1.Dispatch(localJob(10+i, 1), rid)
+	}
+	e.K.Run(50)
+	// Cluster 0 sees an idle resource and a fresh update triggers it.
+	p.OnStatus(e.Scheduler(0), []int{e.Scheduler(0).LocalResources()[0]})
+	e.K.Run(8000)
+	if e.Metrics.JobTransfers == 0 {
+		t.Fatal("auction moved nothing")
+	}
+	if e.Metrics.PolicyMsgs < 3 {
+		t.Fatalf("auction exchanged only %d messages", e.Metrics.PolicyMsgs)
+	}
+}
+
+func TestAuctionNoBidsNoAward(t *testing.T) {
+	p := NewAuction()
+	e := protoEngine(t, p, 3, 3)
+	// All clusters idle: invitations go out, nobody has load above
+	// T_l, so no bids and no transfers.
+	p.OnStatus(e.Scheduler(0), []int{e.Scheduler(0).LocalResources()[0]})
+	e.K.Run(5000)
+	if e.Metrics.JobTransfers != 0 {
+		t.Fatal("award without bids")
+	}
+}
+
+func TestSenderInitiatedQueryReplyTransfer(t *testing.T) {
+	p := NewSenderInitiated()
+	e := protoEngine(t, p, 4, 3)
+	loadCluster(e, 0, 5) // home looks terrible
+	p.OnJob(e.Scheduler(0), remoteJob(1, 0))
+	e.K.Run(8000)
+	lp := e.Cfg.Protocol.Lp
+	if e.Metrics.PolicyMsgs < 2*lp {
+		t.Fatalf("S-I exchanged %d messages, want >= %d", e.Metrics.PolicyMsgs, 2*lp)
+	}
+	if e.Metrics.JobTransfers != 1 {
+		t.Fatalf("S-I transfers = %d, want 1", e.Metrics.JobTransfers)
+	}
+	if e.Metrics.JobsCompleted != 1 {
+		t.Fatal("job not completed")
+	}
+}
+
+func TestSenderInitiatedStaysLocalWhenBest(t *testing.T) {
+	p := NewSenderInitiated()
+	e := protoEngine(t, p, 4, 3)
+	// Make every remote cluster look loaded via their own views: they
+	// report ATT from their (loaded) believed state.
+	for c := 1; c < 4; c++ {
+		loadCluster(e, c, 5)
+	}
+	p.OnJob(e.Scheduler(0), remoteJob(1, 0))
+	e.K.Run(8000)
+	if e.Metrics.JobTransfers != 0 {
+		t.Fatal("S-I moved a job to worse clusters")
+	}
+}
+
+func TestReceiverInitiatedVolunteerPullsJob(t *testing.T) {
+	p := NewReceiverInitiated()
+	e := protoEngine(t, p, 3, 3)
+	// Overload every resource of cluster 1 (real queues + believed
+	// views), so its local ATT clearly exceeds an idle volunteer's.
+	s1 := e.Scheduler(1)
+	id := 10
+	for _, rid := range s1.LocalResources() {
+		for i := 0; i < 3; i++ {
+			s1.Dispatch(localJob(id, 1), rid)
+			id++
+		}
+	}
+	e.K.Run(50)
+	// Cluster 0 is idle; its periodic check volunteers. Drive the tick
+	// until a volunteer lands on cluster 1 (peers are random).
+	for i := 0; i < 8 && e.Metrics.JobTransfers == 0; i++ {
+		p.OnTick(e.Scheduler(0))
+		p.OnTick(e.Scheduler(2))
+		e.K.Run(e.K.Now() + 3000)
+	}
+	if e.Metrics.JobTransfers == 0 {
+		t.Fatal("R-I never pulled a waiting job")
+	}
+}
+
+func TestReceiverInitiatedQuietWhenBusy(t *testing.T) {
+	p := NewReceiverInitiated()
+	e := protoEngine(t, p, 3, 3)
+	loadCluster(e, 0, 2) // utilization 1.0 >= delta
+	p.OnTick(e.Scheduler(0))
+	e.K.Run(2000)
+	if e.Metrics.PolicyMsgs != 0 {
+		t.Fatal("busy cluster volunteered")
+	}
+}
+
+func TestSymmetricUsesAdvertisement(t *testing.T) {
+	p := NewSymmetric()
+	e := protoEngine(t, p, 3, 3)
+	// Cluster 1 advertises (it is idle).
+	p.OnTick(e.Scheduler(1))
+	e.K.Run(2000)
+	msgsAfterAds := e.Metrics.PolicyMsgs
+	if msgsAfterAds == 0 {
+		t.Fatal("no advertisements sent")
+	}
+	// Load the home cluster; its next REMOTE job should use an ad when
+	// one arrived (no polling), or fall back to polling otherwise.
+	loadCluster(e, 0, 5)
+	p.OnJob(e.Scheduler(0), remoteJob(1, 0))
+	e.K.Run(9000)
+	if e.Metrics.JobsCompleted != 1 {
+		t.Fatalf("completed = %d", e.Metrics.JobsCompleted)
+	}
+	if e.Metrics.JobTransfers != 1 {
+		t.Fatalf("Sy-I transfers = %d, want 1", e.Metrics.JobTransfers)
+	}
+}
+
+func TestSymmetricFallsBackToPolling(t *testing.T) {
+	p := NewSymmetric()
+	e := protoEngine(t, p, 4, 3)
+	loadCluster(e, 0, 5)
+	// No advertisements on hand: S-I style polling must happen.
+	p.OnJob(e.Scheduler(0), remoteJob(1, 0))
+	e.K.Run(9000)
+	lp := e.Cfg.Protocol.Lp
+	if e.Metrics.PolicyMsgs < 2*lp {
+		t.Fatalf("fallback exchanged %d messages, want >= %d", e.Metrics.PolicyMsgs, 2*lp)
+	}
+	if e.Metrics.JobTransfers != 1 {
+		t.Fatalf("transfers = %d", e.Metrics.JobTransfers)
+	}
+}
+
+func TestCentralSingleScheduler(t *testing.T) {
+	p := NewCentral()
+	e := protoEngine(t, p, 4, 3)
+	if e.Clusters() != 1 {
+		t.Fatalf("CENTRAL engine has %d clusters", e.Clusters())
+	}
+	if len(e.Resources) != 12 {
+		t.Fatalf("resources = %d, want 12", len(e.Resources))
+	}
+	p.OnJob(e.Scheduler(0), remoteJob(1, 0))
+	p.OnJob(e.Scheduler(0), localJob(2, 0))
+	e.K.Run(5000)
+	if e.Metrics.JobsCompleted != 2 {
+		t.Fatalf("completed = %d", e.Metrics.JobsCompleted)
+	}
+	if e.Metrics.PolicyMsgs != 0 || e.Metrics.JobTransfers != 0 {
+		t.Fatal("CENTRAL exchanged protocol traffic")
+	}
+}
+
+// TestDecisionChargesGrowWithClusterSize pins the cost model: a central
+// decision over many candidates must cost more than a small-cluster
+// decision.
+func TestDecisionChargesGrowWithClusterSize(t *testing.T) {
+	small := protoEngine(t, NewCentral(), 2, 2)
+	big := protoEngine(t, NewCentral(), 2, 30)
+	smallP, bigP := NewCentral(), NewCentral()
+	smallP.OnJob(small.Scheduler(0), localJob(1, 0))
+	bigP.OnJob(big.Scheduler(0), localJob(1, 0))
+	small.K.Run(2000)
+	big.K.Run(2000)
+	if big.Metrics.RMSOverhead <= small.Metrics.RMSOverhead {
+		t.Fatalf("decision cost flat: big=%v small=%v",
+			big.Metrics.RMSOverhead, small.Metrics.RMSOverhead)
+	}
+}

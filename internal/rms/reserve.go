@@ -1,0 +1,164 @@
+package rms
+
+import (
+	"rmscale/internal/grid"
+	"rmscale/internal/sim"
+)
+
+// Message kinds for RESERVE.
+const (
+	msgReserveRegister = iota
+	msgReserveProbe
+	msgReserveProbeReply
+	msgReserveCancel
+)
+
+// reservation is one registered offer of remote capacity.
+type reservation struct {
+	from int
+	at   sim.Time
+}
+
+// reserveProbe carries a probe and its reply.
+type reserveProbe struct {
+	id   int
+	load float64
+}
+
+// reserveState is the per-scheduler state of the RESERVE model.
+type reserveState struct {
+	reservations  []reservation // received offers, oldest first
+	lastAdvertise sim.Time
+	advertised    bool
+	nextProbe     int
+	pending       map[int]*grid.JobCtx // probe id -> waiting job
+}
+
+// Reserve is the paper's RESERVE model: when a scheduler's average
+// cluster load falls below T_l it registers reservations at L_p remote
+// schedulers. A scheduler receiving a REMOTE job while its own average
+// load is above T_l probes the most recent reservation holder and
+// transfers the job there if that cluster's load is still below the
+// threshold; otherwise it cancels its reservations and keeps the job.
+type Reserve struct{}
+
+// NewReserve returns the RESERVE model.
+func NewReserve() *Reserve { return &Reserve{} }
+
+// Name implements grid.Policy.
+func (*Reserve) Name() string { return "RESERVE" }
+
+// Central implements grid.Policy.
+func (*Reserve) Central() bool { return false }
+
+// UsesMiddleware implements grid.Policy.
+func (*Reserve) UsesMiddleware() bool { return false }
+
+// Attach initializes reservation books.
+func (*Reserve) Attach(e *grid.Engine) {
+	for c := 0; c < e.Clusters(); c++ {
+		e.Scheduler(c).State = &reserveState{pending: make(map[int]*grid.JobCtx)}
+	}
+}
+
+// OnTick advertises reservations while the local cluster is
+// underloaded. Reservations carry a TTL, so a persistently underloaded
+// cluster must refresh them: it re-advertises once half the TTL has
+// elapsed — the recurring registration traffic that makes RESERVE's
+// overhead grow with L_p (Figure 5).
+func (*Reserve) OnTick(s *grid.Scheduler) {
+	st := s.State.(*reserveState)
+	proto := s.Engine().Cfg.Protocol
+	// Checking the condition costs one scan of the local view.
+	s.ExecDecision(len(s.LocalResources()), func() {
+		if s.AvgLocalLoad() >= proto.ThresholdLoad {
+			st.advertised = false
+			return
+		}
+		if st.advertised && s.Now()-st.lastAdvertise < proto.ReservationTTL/2 {
+			return // live reservations are still out there
+		}
+		st.advertised = true
+		st.lastAdvertise = s.Now()
+		for _, p := range s.RandomPeers(proto.Lp) {
+			s.SendPolicy(p, msgReserveRegister, nil)
+		}
+	})
+}
+
+// OnJob routes REMOTE jobs through the reservation book.
+func (*Reserve) OnJob(s *grid.Scheduler, ctx *grid.JobCtx) {
+	if mustPlaceLocally(s, ctx) {
+		placeLocally(s, ctx)
+		return
+	}
+	st := s.State.(*reserveState)
+	proto := s.Engine().Cfg.Protocol
+	s.ExecDecision(len(s.LocalResources()), func() {
+		st.expire(s.Now(), proto.ReservationTTL)
+		if s.AvgLocalLoad() <= proto.ThresholdLoad || len(st.reservations) == 0 {
+			placeLocally(s, ctx)
+			return
+		}
+		// Probe the most recent reservation.
+		r := st.reservations[len(st.reservations)-1]
+		id := st.nextProbe
+		st.nextProbe++
+		st.pending[id] = ctx
+		s.SendPolicy(r.from, msgReserveProbe, reserveProbe{id: id})
+	})
+}
+
+// OnMessage handles registrations, probes, replies and cancellations.
+func (*Reserve) OnMessage(s *grid.Scheduler, m *grid.Message) {
+	st := s.State.(*reserveState)
+	proto := s.Engine().Cfg.Protocol
+	switch m.Kind {
+	case msgReserveRegister:
+		st.reservations = append(st.reservations, reservation{from: m.From, at: s.Now()})
+		const maxBook = 64
+		if len(st.reservations) > maxBook {
+			st.reservations = st.reservations[len(st.reservations)-maxBook:]
+		}
+	case msgReserveProbe:
+		p := m.Payload.(reserveProbe)
+		s.ExecDecision(len(s.LocalResources()), func() {
+			s.SendPolicy(m.From, msgReserveProbeReply, reserveProbe{id: p.id, load: s.AvgLocalLoad()})
+		})
+	case msgReserveProbeReply:
+		p := m.Payload.(reserveProbe)
+		ctx, ok := st.pending[p.id]
+		if !ok {
+			return
+		}
+		delete(st.pending, p.id)
+		if p.load < proto.ThresholdLoad {
+			s.TransferJob(ctx, m.From)
+			return
+		}
+		// The reservation was stale: cancel all reservations (the
+		// paper cancels the book) and keep the job.
+		for _, r := range st.reservations {
+			s.SendPolicy(r.from, msgReserveCancel, nil)
+		}
+		st.reservations = nil
+		placeLocally(s, ctx)
+	case msgReserveCancel:
+		// Our advertised capacity was rejected: allow re-advertising.
+		st.advertised = false
+	}
+}
+
+// OnStatus implements grid.Policy; RESERVE reacts on its tick.
+func (*Reserve) OnStatus(*grid.Scheduler, []int) {}
+
+// expire drops reservations older than the TTL.
+func (st *reserveState) expire(now sim.Time, ttl float64) {
+	keep := st.reservations[:0]
+	for _, r := range st.reservations {
+		if now-r.at <= ttl {
+			keep = append(keep, r)
+		}
+	}
+	st.reservations = keep
+}

@@ -1,0 +1,124 @@
+package rms
+
+import (
+	"rmscale/internal/grid"
+)
+
+// riDemand describes the stolen waiting job S_y offers to the
+// volunteering scheduler S_x.
+type riDemand struct {
+	id  int
+	req float64
+}
+
+// riInfo is S_x's answer: its ATT for the offered job and its RUS.
+type riInfo struct {
+	id  int
+	att float64
+	rus float64
+}
+
+// riState is the per-scheduler R-I state.
+type riState struct {
+	nextID  int
+	pending map[int]*grid.JobCtx // demand id -> job held for negotiation
+}
+
+// ReceiverInitiated is the paper's R-I model: periodically, each
+// scheduler checks the resource utilization status (RUS) of its
+// cluster; when it falls below delta, it volunteers to at most L_p
+// remote schedulers. A loaded scheduler receiving the offer sends the
+// resource demands of the first job in its (virtual) wait queue; the
+// volunteer replies with its ATT and RUS, and the owner computes the
+// turnaround cost at both sites and schedules the job accordingly.
+type ReceiverInitiated struct{}
+
+// NewReceiverInitiated returns the R-I model.
+func NewReceiverInitiated() *ReceiverInitiated { return &ReceiverInitiated{} }
+
+// Name implements grid.Policy.
+func (*ReceiverInitiated) Name() string { return "R-I" }
+
+// Central implements grid.Policy.
+func (*ReceiverInitiated) Central() bool { return false }
+
+// UsesMiddleware implements grid.Policy.
+func (*ReceiverInitiated) UsesMiddleware() bool { return true }
+
+// Attach initializes negotiation bookkeeping.
+func (*ReceiverInitiated) Attach(e *grid.Engine) {
+	for c := 0; c < e.Clusters(); c++ {
+		e.Scheduler(c).State = &riState{pending: make(map[int]*grid.JobCtx)}
+	}
+}
+
+// OnJob places jobs locally; load moves only through volunteering.
+func (*ReceiverInitiated) OnJob(s *grid.Scheduler, ctx *grid.JobCtx) {
+	placeLocally(s, ctx)
+}
+
+// OnTick volunteers when the cluster's resource utilization status
+// falls below the delta threshold, per the paper's R-I description.
+func (*ReceiverInitiated) OnTick(s *grid.Scheduler) {
+	proto := s.Engine().Cfg.Protocol
+	s.ExecDecision(len(s.LocalResources()), func() {
+		if s.Utilization() >= proto.RUSDelta {
+			return
+		}
+		for _, p := range s.RandomPeers(proto.Lp) {
+			s.SendPolicy(p, msgRIVolunteer, nil)
+		}
+	})
+}
+
+// OnMessage runs the three-step negotiation.
+func (*ReceiverInitiated) OnMessage(s *grid.Scheduler, m *grid.Message) {
+	st := s.State.(*riState)
+	e := s.Engine()
+	proto := e.Cfg.Protocol
+	switch m.Kind {
+	case msgRIVolunteer:
+		// A remote cluster has free capacity. If we are loaded, offer
+		// the demands of one waiting job.
+		s.ExecDecision(len(s.LocalResources()), func() {
+			if s.AvgLocalLoad() <= proto.ThresholdLoad {
+				return
+			}
+			ctx := e.StealQueuedJob(s.Cluster())
+			if ctx == nil {
+				return
+			}
+			id := st.nextID
+			st.nextID++
+			st.pending[id] = ctx
+			s.SendPolicy(m.From, msgRIDemand, riDemand{id: id, req: ctx.Job.Requested})
+		})
+	case msgRIDemand:
+		d := m.Payload.(riDemand)
+		s.ExecDecision(len(s.LocalResources()), func() {
+			s.SendPolicy(m.From, msgRIInfo, riInfo{
+				id:  d.id,
+				att: e.AWT(s) + e.ERT(d.req),
+				rus: s.Utilization(),
+			})
+		})
+	case msgRIInfo:
+		info := m.Payload.(riInfo)
+		ctx, ok := st.pending[info.id]
+		if !ok {
+			return
+		}
+		delete(st.pending, info.id)
+		s.ExecDecision(len(s.LocalResources()), func() {
+			localATT := e.AWT(s) + e.ERT(ctx.Job.Requested)
+			if info.att < localATT {
+				s.TransferJob(ctx, m.From)
+				return
+			}
+			placeLocally(s, ctx)
+		})
+	}
+}
+
+// OnStatus implements grid.Policy.
+func (*ReceiverInitiated) OnStatus(*grid.Scheduler, []int) {}

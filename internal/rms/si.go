@@ -1,0 +1,165 @@
+package rms
+
+import (
+	"math"
+
+	"rmscale/internal/grid"
+)
+
+// Message kinds for the S-I / R-I / Sy-I superscheduler family.
+const (
+	msgSIQuery = iota + 200
+	msgSIReply
+	msgRIVolunteer
+	msgRIDemand
+	msgRIInfo
+)
+
+// siQuery asks a remote scheduler for its AWT/ERT/RUS for a job.
+type siQuery struct {
+	id  int
+	req float64 // the job's requested time
+}
+
+// siReply returns the remote estimate.
+type siReply struct {
+	id  int
+	att float64 // AWT + ERT at the replier
+	rus float64 // resource utilization status
+}
+
+// siSession tracks one outstanding S-I poll.
+type siSession struct {
+	ctx      *grid.JobCtx
+	expected int
+	replies  []siReply
+	from     []int
+}
+
+// siState is the per-scheduler S-I state.
+type siState struct {
+	nextID   int
+	sessions map[int]*siSession
+}
+
+// SenderInitiated is the paper's S-I model (after Shan, Oliker &
+// Biswas's job superscheduler): autonomous per-cluster schedulers
+// communicating through a grid middleware queue. On a REMOTE job
+// arrival the scheduler polls L_p remote schedulers, which respond with
+// approximate waiting time (AWT), expected run time (ERT) and resource
+// utilization status (RUS); the poller computes the turnaround cost
+// everywhere, and when several approximate turnaround times tie within
+// the tolerance psi, the smallest RUS wins.
+type SenderInitiated struct{}
+
+// NewSenderInitiated returns the S-I model.
+func NewSenderInitiated() *SenderInitiated { return &SenderInitiated{} }
+
+// Name implements grid.Policy.
+func (*SenderInitiated) Name() string { return "S-I" }
+
+// Central implements grid.Policy.
+func (*SenderInitiated) Central() bool { return false }
+
+// UsesMiddleware implements grid.Policy: the S-I family talks through
+// the grid middleware.
+func (*SenderInitiated) UsesMiddleware() bool { return true }
+
+// Attach initializes poll bookkeeping.
+func (*SenderInitiated) Attach(e *grid.Engine) {
+	for c := 0; c < e.Clusters(); c++ {
+		e.Scheduler(c).State = &siState{sessions: make(map[int]*siSession)}
+	}
+}
+
+// OnJob polls remote schedulers for REMOTE jobs.
+func (p *SenderInitiated) OnJob(s *grid.Scheduler, ctx *grid.JobCtx) {
+	if mustPlaceLocally(s, ctx) {
+		placeLocally(s, ctx)
+		return
+	}
+	siPoll(s, s.State.(*siState), ctx)
+}
+
+// siPoll starts an S-I poll for ctx; shared with Sy-I's fallback path.
+func siPoll(s *grid.Scheduler, st *siState, ctx *grid.JobCtx) {
+	peers := s.RandomPeers(s.Engine().Cfg.Protocol.Lp)
+	if len(peers) == 0 {
+		placeLocally(s, ctx)
+		return
+	}
+	id := st.nextID
+	st.nextID++
+	st.sessions[id] = &siSession{ctx: ctx, expected: len(peers)}
+	for _, peer := range peers {
+		s.SendPolicy(peer, msgSIQuery, siQuery{id: id, req: ctx.Job.Requested})
+	}
+}
+
+// OnMessage answers queries and resolves completed polls.
+func (p *SenderInitiated) OnMessage(s *grid.Scheduler, m *grid.Message) {
+	siHandle(s, s.State.(*siState), m)
+}
+
+// siHandle implements the shared S-I message protocol.
+func siHandle(s *grid.Scheduler, st *siState, m *grid.Message) {
+	e := s.Engine()
+	switch m.Kind {
+	case msgSIQuery:
+		q := m.Payload.(siQuery)
+		s.ExecDecision(len(s.LocalResources()), func() {
+			s.SendPolicy(m.From, msgSIReply, siReply{
+				id:  q.id,
+				att: e.AWT(s) + e.ERT(q.req),
+				rus: s.Utilization(),
+			})
+		})
+	case msgSIReply:
+		r := m.Payload.(siReply)
+		sess, ok := st.sessions[r.id]
+		if !ok {
+			return
+		}
+		sess.replies = append(sess.replies, r)
+		sess.from = append(sess.from, m.From)
+		if len(sess.replies) < sess.expected {
+			return
+		}
+		delete(st.sessions, r.id)
+		s.ExecDecision(sess.expected+len(s.LocalResources()), func() {
+			siDecide(s, sess)
+		})
+	}
+}
+
+// siDecide computes turnaround costs and places the job: minimum ATT
+// wins; ties within psi go to the smallest RUS; the local cluster is a
+// candidate like any other.
+func siDecide(s *grid.Scheduler, sess *siSession) {
+	e := s.Engine()
+	psi := e.Cfg.Protocol.Psi
+	// Candidate 0 is local (cluster = -1 marks local).
+	bestATT := e.AWT(s) + e.ERT(sess.ctx.Job.Requested)
+	bestRUS := s.Utilization()
+	bestCluster := -1
+	for i, r := range sess.replies {
+		switch {
+		case r.att < bestATT-psi:
+			bestATT, bestRUS, bestCluster = r.att, r.rus, sess.from[i]
+		case math.Abs(r.att-bestATT) <= psi && r.rus < bestRUS:
+			// ATT tie within tolerance: smallest RUS accepts the job.
+			bestATT, bestRUS, bestCluster = math.Min(r.att, bestATT), r.rus, sess.from[i]
+		}
+	}
+	if bestCluster < 0 {
+		placeLocally(s, sess.ctx)
+		return
+	}
+	s.TransferJob(sess.ctx, bestCluster)
+}
+
+// OnStatus implements grid.Policy.
+func (*SenderInitiated) OnStatus(*grid.Scheduler, []int) {}
+
+// OnTick implements grid.Policy; S-I has no periodic behaviour.
+func (*SenderInitiated) OnTick(*grid.Scheduler) {}

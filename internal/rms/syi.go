@@ -1,0 +1,122 @@
+package rms
+
+import (
+	"rmscale/internal/grid"
+	"rmscale/internal/sim"
+)
+
+// advertisement records a received R-I style capacity advertisement.
+type advertisement struct {
+	from int
+	at   sim.Time
+}
+
+// syiState combines S-I poll bookkeeping with an advertisement book.
+type syiState struct {
+	siState
+	ads []advertisement
+}
+
+// Symmetric is the paper's Sy-I model, combining S-I and R-I: each
+// scheduler advertises its own underutilized resources periodically, as
+// in R-I; a scheduler holding a new REMOTE job sends it to an
+// advertiser when it holds a fresh advertisement, and falls back to the
+// S-I polling approach when no advertisements are on hand.
+type Symmetric struct{}
+
+// NewSymmetric returns the Sy-I model.
+func NewSymmetric() *Symmetric { return &Symmetric{} }
+
+// Name implements grid.Policy.
+func (*Symmetric) Name() string { return "Sy-I" }
+
+// Central implements grid.Policy.
+func (*Symmetric) Central() bool { return false }
+
+// UsesMiddleware implements grid.Policy.
+func (*Symmetric) UsesMiddleware() bool { return true }
+
+// Attach initializes the combined state.
+func (*Symmetric) Attach(e *grid.Engine) {
+	for c := 0; c < e.Clusters(); c++ {
+		e.Scheduler(c).State = &syiState{
+			siState: siState{sessions: make(map[int]*siSession)},
+		}
+	}
+}
+
+// OnTick advertises underutilized capacity: Sy-I advertises whenever
+// any of its resources is underutilized (an idle or near-idle resource
+// exists in the believed view), which keeps its push machinery active
+// across load regimes — part of why the paper finds it the least
+// scalable model.
+func (*Symmetric) OnTick(s *grid.Scheduler) {
+	proto := s.Engine().Cfg.Protocol
+	s.ExecDecision(len(s.LocalResources()), func() {
+		if _, least, ok := s.LeastLoadedLocal(); !ok || least >= proto.ThresholdLoad {
+			return
+		}
+		for _, p := range s.RandomPeers(proto.Lp) {
+			s.SendPolicy(p, msgRIVolunteer, nil)
+		}
+	})
+}
+
+// OnJob consumes a fresh advertisement when one is on hand, else falls
+// back to S-I polling.
+func (*Symmetric) OnJob(s *grid.Scheduler, ctx *grid.JobCtx) {
+	if mustPlaceLocally(s, ctx) {
+		placeLocally(s, ctx)
+		return
+	}
+	st := s.State.(*syiState)
+	proto := s.Engine().Cfg.Protocol
+	now := s.Now()
+	// Drop stale advertisements.
+	fresh := st.ads[:0]
+	for _, ad := range st.ads {
+		if now-ad.at <= proto.ReservationTTL {
+			fresh = append(fresh, ad)
+		}
+	}
+	st.ads = fresh
+	if len(st.ads) > 0 {
+		// Use the most recent advertisement: schedule locally or send
+		// to the advertiser, whichever looks cheaper.
+		ad := st.ads[len(st.ads)-1]
+		st.ads = st.ads[:len(st.ads)-1]
+		s.ExecDecision(len(s.LocalResources()), func() {
+			e := s.Engine()
+			if s.AvgLocalLoad() < proto.ThresholdLoad && e.AWT(s) <= e.MeanServiceTime() {
+				placeLocally(s, ctx)
+				return
+			}
+			s.TransferJob(ctx, ad.from)
+		})
+		return
+	}
+	siPoll(s, &st.siState, ctx)
+}
+
+// OnMessage records advertisements and delegates the rest to the S-I
+// protocol.
+func (*Symmetric) OnMessage(s *grid.Scheduler, m *grid.Message) {
+	st := s.State.(*syiState)
+	if m.Kind == msgRIVolunteer {
+		st.ads = append(st.ads, advertisement{from: m.From, at: s.Now()})
+		const maxAds = 64
+		if len(st.ads) > maxAds {
+			st.ads = st.ads[len(st.ads)-maxAds:]
+		}
+		return
+	}
+	siHandle(s, &st.siState, m)
+}
+
+// OnStatus charges the PUSH-side trigger evaluation: Sy-I consumes
+// status information for both its advertising decision and its S-I
+// estimates, so every fresh batch costs a check — the property that
+// makes the PUSH+PULL hybrids sensitive to the estimator count.
+func (*Symmetric) OnStatus(s *grid.Scheduler, updated []int) {
+	s.Exec(s.Engine().Cfg.Costs.TriggerCheck, func() {})
+}

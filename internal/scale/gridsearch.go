@@ -1,0 +1,112 @@
+package scale
+
+import (
+	"fmt"
+	"math"
+
+	"rmscale/internal/anneal"
+)
+
+// Tuner selects the optimizer used by the measurement procedure. The
+// paper uses simulated annealing; the grid-search alternative exists as
+// an ablation baseline to show the annealer reaches comparable minima
+// with far fewer evaluations.
+type Tuner int
+
+const (
+	// TunerAnneal is the paper's simulated annealing search.
+	TunerAnneal Tuner = iota
+	// TunerGrid is an exhaustive coordinate grid search.
+	TunerGrid
+)
+
+// String names the tuner.
+func (t Tuner) String() string {
+	switch t {
+	case TunerAnneal:
+		return "anneal"
+	case TunerGrid:
+		return "grid"
+	default:
+		return fmt.Sprintf("tuner(%d)", int(t))
+	}
+}
+
+// gridSearch evaluates a full factorial grid of points per dimension
+// and returns the best (feasibility first, then energy), mirroring the
+// annealer's ordering. pointsPerDim is clamped to [2, 7] to keep the
+// factorial bounded.
+func gridSearch(dims []anneal.Dim, obj anneal.Objective, pointsPerDim int) (anneal.Outcome, error) {
+	if len(dims) == 0 {
+		return anneal.Outcome{}, fmt.Errorf("scale: grid search needs dimensions")
+	}
+	if pointsPerDim < 2 {
+		pointsPerDim = 2
+	}
+	if pointsPerDim > 7 {
+		pointsPerDim = 7
+	}
+	levels := make([][]float64, len(dims))
+	for i, d := range dims {
+		if d.Max <= d.Min {
+			levels[i] = []float64{d.Min}
+			continue
+		}
+		n := pointsPerDim
+		vals := make([]float64, 0, n)
+		seen := map[float64]bool{}
+		for j := 0; j < n; j++ {
+			v := d.Min + (d.Max-d.Min)*float64(j)/float64(n-1)
+			if d.Integer {
+				v = math.Round(v)
+			}
+			if !seen[v] {
+				seen[v] = true
+				vals = append(vals, v)
+			}
+		}
+		levels[i] = vals
+	}
+
+	var out anneal.Outcome
+	var best []float64
+	var bestR anneal.Result
+	have := false
+
+	idx := make([]int, len(dims))
+	for {
+		x := make([]float64, len(dims))
+		for i := range dims {
+			x[i] = levels[i][idx[i]]
+		}
+		r := obj(x)
+		out.Evals++
+		if !have || betterResult(r, bestR) {
+			best, bestR, have = x, r, true
+		}
+		// Odometer increment.
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < len(levels[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			break
+		}
+	}
+	out.X = best
+	out.Result = bestR
+	return out, nil
+}
+
+// betterResult mirrors the annealer's ordering: feasible beats
+// infeasible, then lower energy.
+func betterResult(a, b anneal.Result) bool {
+	if a.Feasible != b.Feasible {
+		return a.Feasible
+	}
+	return a.Cost+a.Penalty < b.Cost+b.Penalty
+}

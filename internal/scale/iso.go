@@ -1,0 +1,101 @@
+package scale
+
+import "fmt"
+
+// IsoAnalysis carries the closed-form isoefficiency quantities of the
+// paper's Section 2.3. With base useful work W = F(k0), base RMS
+// overhead O_RMS = G(k0), base RP overhead O_RP = H(k0) and target
+// efficiency E0 = 1/alpha, the isoefficiency requirement
+//
+//	E(k) = E(k0)
+//
+// reduces (Equation 1) to
+//
+//	f(k) = c*g(k) + c'*h(k),   c = O_RMS/((alpha-1)W),  c' = O_RP/((alpha-1)W)
+//
+// and, because the RP always incurs some non-zero cost, to the
+// necessary condition (Equation 2)
+//
+//	f(k) > c*g(k):
+//
+// useful work must grow at least as fast as RMS overhead, in these
+// normalized units, for efficiency to stay constant.
+type IsoAnalysis struct {
+	W, ORMS, ORP float64
+	E0           float64
+	Alpha        float64
+	C, CPrime    float64
+}
+
+// NewIsoAnalysis derives the constants from the base observation and
+// the target efficiency.
+func NewIsoAnalysis(base Observation, e0 float64) (IsoAnalysis, error) {
+	if e0 <= 0 || e0 >= 1 {
+		return IsoAnalysis{}, fmt.Errorf("scale: target efficiency %v outside (0,1)", e0)
+	}
+	if base.F <= 0 {
+		return IsoAnalysis{}, fmt.Errorf("scale: base useful work must be positive, got %v", base.F)
+	}
+	alpha := 1 / e0
+	den := (alpha - 1) * base.F
+	return IsoAnalysis{
+		W:      base.F,
+		ORMS:   base.G,
+		ORP:    base.H,
+		E0:     e0,
+		Alpha:  alpha,
+		C:      base.G / den,
+		CPrime: base.H / den,
+	}, nil
+}
+
+// RequiredWork returns the normalized useful work f(k) needed to hold
+// efficiency at E0 given normalized overheads g(k) and h(k)
+// (Equation 1).
+func (a IsoAnalysis) RequiredWork(g, h float64) float64 {
+	return a.C*g + a.CPrime*h
+}
+
+// Condition reports Equation 2: f(k) > c*g(k). When it fails, the RMS
+// overhead outgrew the useful work and the configuration cannot stay at
+// the target efficiency.
+func (a IsoAnalysis) Condition(f, g float64) bool {
+	return f > a.C*g
+}
+
+// Efficiency computes E(k) from normalized curves, inverting the
+// normalization against the base terms (the identity the derivation
+// starts from).
+func (a IsoAnalysis) Efficiency(f, g, h float64) float64 {
+	num := f * a.W
+	den := f*a.W + g*a.ORMS + h*a.ORP
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// ConditionReport evaluates Equation 2 across a measurement and reports
+// the first scale factor at which the condition fails, or -1 when it
+// holds everywhere.
+func ConditionReport(m *Measurement) (failsAt int, err error) {
+	if len(m.Points) == 0 {
+		return -1, fmt.Errorf("scale: empty measurement")
+	}
+	base := m.Points[0].Obs
+	a, err := NewIsoAnalysis(base, base.Efficiency)
+	if err != nil {
+		return -1, err
+	}
+	f := m.NormalizedF()
+	g := m.NormalizedG()
+	for i := range m.Points {
+		if i == 0 {
+			continue // the base holds trivially
+		}
+		if !a.Condition(f[i], g[i]) {
+			return m.Points[i].K, nil
+		}
+	}
+	return -1, nil
+}

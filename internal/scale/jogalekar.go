@@ -1,0 +1,97 @@
+package scale
+
+import (
+	"fmt"
+
+	"rmscale/internal/stats"
+)
+
+// The paper positions its overhead-based metric against Jogalekar &
+// Woodside's throughput-based scalability metric for distributed
+// systems (IEEE TPDS 11(6), 2000) — the only prior quantitative-direct
+// metric applicable to general distributed systems. This file
+// implements the J&W metric over the same measurements so the two can
+// be compared side by side, as the paper's related-work section
+// discusses.
+//
+// J&W define productivity at scale k as
+//
+//	P(k) = lambda(k) * f(k) / C(k)
+//
+// where lambda is delivered throughput, f is the value of each response
+// given its mean response time (1 when instantaneous, decaying past a
+// target), and C is the cost of running the configuration. Scalability
+// between scales is the productivity ratio psi(k) = P(k)/P(k0); a
+// system is scalable while psi stays near or above 1.
+
+// JWParams configures the Jogalekar-Woodside evaluation.
+type JWParams struct {
+	// TargetResponse is the response time at which a response has
+	// lost half its value; the value function is
+	// f = 1 / (1 + (T/Target)^2), J&W's suggested form.
+	TargetResponse float64
+	// Cost returns the cost of operating the configuration at scale
+	// k. Nil means cost proportional to k (linear infrastructure).
+	Cost func(k int) float64
+}
+
+// Validate reports the first bad parameter.
+func (p JWParams) Validate() error {
+	if p.TargetResponse <= 0 {
+		return fmt.Errorf("scale: TargetResponse must be positive, got %v", p.TargetResponse)
+	}
+	return nil
+}
+
+// JWResult is the metric evaluated over one measurement.
+type JWResult struct {
+	RMS          string
+	Ks           []float64
+	Productivity []float64
+	// Psi is productivity normalized to the base scale: J&W's
+	// scalability metric.
+	Psi []float64
+}
+
+// Scalable reports J&W's reading at index i: the system scaled to
+// K[i] is considered scalable when psi stays above the threshold
+// (J&W use values near 0.8 in practice).
+func (r *JWResult) Scalable(i int, threshold float64) bool {
+	if i < 0 || i >= len(r.Psi) {
+		return false
+	}
+	return r.Psi[i] >= threshold
+}
+
+// JogalekarWoodside evaluates the J&W productivity metric over a tuned
+// measurement, enabling the paper's side-by-side comparison of the two
+// scalability formulations.
+func JogalekarWoodside(m *Measurement, p JWParams) (*JWResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(m.Points) == 0 {
+		return nil, fmt.Errorf("scale: empty measurement")
+	}
+	cost := p.Cost
+	if cost == nil {
+		cost = func(k int) float64 { return float64(k) }
+	}
+	r := &JWResult{RMS: m.RMS, Ks: m.Ks()}
+	for _, pt := range m.Points {
+		c := cost(pt.K)
+		if c <= 0 {
+			return nil, fmt.Errorf("scale: non-positive cost %v at k=%d", c, pt.K)
+		}
+		t := pt.Obs.MeanResponse / p.TargetResponse
+		value := 1 / (1 + t*t)
+		r.Productivity = append(r.Productivity, pt.Obs.Throughput*value/c)
+	}
+	r.Psi = stats.Normalize(r.Productivity)
+	return r, nil
+}
+
+// JWSeries renders psi(k) as a named series for figure assembly.
+func (r *JWResult) JWSeries() stats.Series {
+	return stats.Series{Name: r.RMS, X: r.Ks, Y: r.Psi}
+}

@@ -1,0 +1,103 @@
+package scale
+
+import (
+	"math"
+	"testing"
+)
+
+func jwMeasurement() *Measurement {
+	return &Measurement{
+		RMS: "TEST",
+		Points: []Point{
+			{K: 1, Obs: Observation{Throughput: 10, MeanResponse: 100}},
+			{K: 2, Obs: Observation{Throughput: 20, MeanResponse: 100}},
+			{K: 4, Obs: Observation{Throughput: 30, MeanResponse: 400}},
+		},
+	}
+}
+
+func TestJogalekarWoodsideBasics(t *testing.T) {
+	r, err := JogalekarWoodside(jwMeasurement(), JWParams{TargetResponse: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Psi) != 3 || r.Psi[0] != 1 {
+		t.Fatalf("psi = %v", r.Psi)
+	}
+	// k=2: throughput doubled, response unchanged, cost doubled:
+	// productivity identical, psi = 1 — ideal linear scaling.
+	if math.Abs(r.Psi[1]-1) > 1e-9 {
+		t.Fatalf("ideal scaling psi = %v, want 1", r.Psi[1])
+	}
+	// k=4: throughput x3 but cost x4 and responses past target:
+	// psi must collapse below 1.
+	if r.Psi[2] >= 1 {
+		t.Fatalf("degraded scaling psi = %v, want < 1", r.Psi[2])
+	}
+	if !r.Scalable(1, 0.8) {
+		t.Error("ideal point should be scalable at threshold 0.8")
+	}
+	if r.Scalable(2, 0.8) {
+		t.Error("degraded point should not be scalable")
+	}
+	if r.Scalable(9, 0.8) || r.Scalable(-1, 0.8) {
+		t.Error("out-of-range index must be false")
+	}
+}
+
+func TestJogalekarWoodsideValueFunction(t *testing.T) {
+	// A response exactly at target halves the value.
+	m := &Measurement{
+		RMS: "V",
+		Points: []Point{
+			{K: 1, Obs: Observation{Throughput: 10, MeanResponse: 0}},
+			{K: 2, Obs: Observation{Throughput: 20, MeanResponse: 200}},
+		},
+	}
+	r, err := JogalekarWoodside(m, JWParams{TargetResponse: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(1) = 10*1/1 = 10; P(2) = 20*0.5/2 = 5; psi = 0.5.
+	if math.Abs(r.Psi[1]-0.5) > 1e-9 {
+		t.Fatalf("psi = %v, want 0.5", r.Psi[1])
+	}
+}
+
+func TestJogalekarWoodsideCustomCost(t *testing.T) {
+	m := jwMeasurement()
+	flat := func(int) float64 { return 1 }
+	r, err := JogalekarWoodside(m, JWParams{TargetResponse: 1e12, Cost: flat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With free scaling and no response penalty, psi tracks raw
+	// throughput growth.
+	if math.Abs(r.Psi[1]-2) > 1e-6 {
+		t.Fatalf("psi = %v, want 2", r.Psi[1])
+	}
+}
+
+func TestJogalekarWoodsideErrors(t *testing.T) {
+	if _, err := JogalekarWoodside(jwMeasurement(), JWParams{}); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := JogalekarWoodside(&Measurement{}, JWParams{TargetResponse: 1}); err == nil {
+		t.Error("empty measurement accepted")
+	}
+	bad := JWParams{TargetResponse: 1, Cost: func(int) float64 { return 0 }}
+	if _, err := JogalekarWoodside(jwMeasurement(), bad); err == nil {
+		t.Error("zero cost accepted")
+	}
+}
+
+func TestJWSeries(t *testing.T) {
+	r, err := JogalekarWoodside(jwMeasurement(), JWParams{TargetResponse: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.JWSeries()
+	if s.Name != "TEST" || len(s.Y) != 3 || s.X[2] != 4 {
+		t.Fatalf("series = %+v", s)
+	}
+}

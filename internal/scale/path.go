@@ -1,0 +1,162 @@
+package scale
+
+import (
+	"fmt"
+
+	"rmscale/internal/anneal"
+)
+
+// Step 2 of the paper's measurement procedure (the Figure 1 flowchart):
+// before the RMS can be tuned, the resource pool itself must be scaled
+// along a feasible scaling path — "when scaling the RP, a simulated
+// annealing type of search can be used for this search. If a scalable
+// RP cannot be found, then the base system is considered unscalable."
+// This file implements that search: at each scale factor it finds the
+// cheapest assignment of the scaling variables (e.g. node count versus
+// per-node service rate) that meets the demand placed on the scaled
+// system while keeping efficiency feasible.
+
+// PathVar is one scaling variable the RP search may adjust.
+type PathVar struct {
+	Name     string
+	Min, Max float64
+	Integer  bool
+	// CostWeight converts the variable's value into infrastructure
+	// cost; the search minimizes the weighted sum.
+	CostWeight float64
+}
+
+// PathEvaluator runs the managed system at scale factor k with the
+// given scaling-variable assignment.
+type PathEvaluator interface {
+	Evaluate(k int, vars []float64) (Observation, error)
+}
+
+// PathEvaluatorFunc adapts a function.
+type PathEvaluatorFunc func(k int, vars []float64) (Observation, error)
+
+// Evaluate implements PathEvaluator.
+func (f PathEvaluatorFunc) Evaluate(k int, vars []float64) (Observation, error) {
+	return f(k, vars)
+}
+
+// PathSpec configures the scaling-path search.
+type PathSpec struct {
+	Vars []PathVar
+	Ks   []int
+	Band Band
+	// Demand reports whether the observed system meets the load placed
+	// on it at scale k (e.g. throughput at least k times the base).
+	Demand func(k int, obs Observation) bool
+	Anneal anneal.Options
+}
+
+// Validate reports the first specification error.
+func (s PathSpec) Validate() error {
+	if len(s.Vars) == 0 {
+		return fmt.Errorf("scale: no scaling variables")
+	}
+	for _, v := range s.Vars {
+		if v.Max < v.Min {
+			return fmt.Errorf("scale: variable %q has Max < Min", v.Name)
+		}
+		if v.CostWeight < 0 {
+			return fmt.Errorf("scale: variable %q has negative cost weight", v.Name)
+		}
+	}
+	if len(s.Ks) == 0 {
+		return fmt.Errorf("scale: no scale factors")
+	}
+	if s.Demand == nil {
+		return fmt.Errorf("scale: nil demand predicate")
+	}
+	return s.Band.Validate()
+}
+
+// PathPoint is the chosen configuration at one scale factor.
+type PathPoint struct {
+	K        int
+	Vars     []float64
+	Cost     float64
+	Obs      Observation
+	Feasible bool
+}
+
+// Path is the search result: the evolution of the scaling variables
+// the paper calls the scaling path.
+type Path struct {
+	Vars   []PathVar
+	Points []PathPoint
+}
+
+// Feasible reports whether every point met demand inside the band — the
+// flowchart's "scalable RP found" branch.
+func (p *Path) Feasible() bool {
+	for _, pt := range p.Points {
+		if !pt.Feasible {
+			return false
+		}
+	}
+	return len(p.Points) > 0
+}
+
+// FindScalingPath searches, at each scale factor, for the cheapest
+// scaling-variable assignment that meets demand with feasible
+// efficiency, warm-starting each factor from the previous one.
+func FindScalingPath(ev PathEvaluator, spec PathSpec) (*Path, error) {
+	if ev == nil {
+		return nil, fmt.Errorf("scale: nil evaluator")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	dims := make([]anneal.Dim, len(spec.Vars))
+	var start []float64
+	for i, v := range spec.Vars {
+		dims[i] = anneal.Dim{Name: v.Name, Min: v.Min, Max: v.Max, Integer: v.Integer}
+	}
+	path := &Path{Vars: spec.Vars}
+	for _, k := range spec.Ks {
+		k := k
+		var evalErr error
+		obj := func(x []float64) anneal.Result {
+			obs, err := ev.Evaluate(k, x)
+			if err != nil {
+				evalErr = err
+				return anneal.Result{Penalty: 1e18}
+			}
+			cost := 0.0
+			for i, v := range spec.Vars {
+				cost += v.CostWeight * x[i]
+			}
+			feasible := spec.Band.Feasible(obs.Efficiency) && spec.Demand(k, obs)
+			pen := spec.Band.Penalty(obs.Efficiency) * 100 * (cost + 1)
+			if !spec.Demand(k, obs) {
+				pen += cost + 1 // unmet demand dominates any saving
+			}
+			return anneal.Result{Cost: cost, Penalty: pen, Feasible: feasible, Aux: obs}
+		}
+		o := spec.Anneal
+		o.Seed = spec.Anneal.Seed + int64(k)*104729
+		out, err := anneal.Minimize(dims, start, obj, o)
+		if err != nil {
+			return nil, fmt.Errorf("scale: path search at k=%d: %w", k, err)
+		}
+		if evalErr != nil {
+			return nil, fmt.Errorf("scale: path evaluation at k=%d: %w", k, evalErr)
+		}
+		cost := 0.0
+		for i, v := range spec.Vars {
+			cost += v.CostWeight * out.X[i]
+		}
+		path.Points = append(path.Points, PathPoint{
+			K:        k,
+			Vars:     out.X,
+			Cost:     cost,
+			Obs:      out.Result.Aux.(Observation),
+			Feasible: out.Result.Feasible,
+		})
+		start = append([]float64(nil), out.X...)
+	}
+	return path, nil
+}

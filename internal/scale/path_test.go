@@ -1,0 +1,131 @@
+package scale
+
+import (
+	"testing"
+
+	"rmscale/internal/anneal"
+)
+
+// pathSystem is a closed-form system: throughput = nodes * rate * 0.8,
+// efficiency healthy while nodes*rate capacity is not overrun.
+func pathSystem(k int, vars []float64) (Observation, error) {
+	nodes, rate := vars[0], vars[1]
+	capacity := nodes * rate
+	demand := 10.0 * float64(k)
+	eff := 0.42
+	if capacity < demand {
+		// Overrun: efficiency collapses with the shortfall.
+		eff = 0.42 * capacity / demand
+	}
+	return Observation{
+		F:          capacity,
+		Throughput: min(capacity, demand),
+		Efficiency: eff,
+	}, nil
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func pathSpec() PathSpec {
+	return PathSpec{
+		Vars: []PathVar{
+			{Name: "nodes", Min: 1, Max: 200, Integer: true, CostWeight: 1},
+			{Name: "rate", Min: 1, Max: 8, CostWeight: 3},
+		},
+		Ks:   []int{1, 2, 4},
+		Band: PaperBand(),
+		Demand: func(k int, obs Observation) bool {
+			return obs.Throughput >= 10*float64(k)-1e-9
+		},
+		Anneal: anneal.Options{Iters: 150, Restarts: 3, Seed: 9},
+	}
+}
+
+func TestFindScalingPath(t *testing.T) {
+	p, err := FindScalingPath(PathEvaluatorFunc(pathSystem), pathSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible() {
+		t.Fatalf("feasible system reported unscalable: %+v", p.Points)
+	}
+	if len(p.Points) != 3 {
+		t.Fatalf("points = %d", len(p.Points))
+	}
+	for i, pt := range p.Points {
+		capacity := pt.Vars[0] * pt.Vars[1]
+		if capacity < 10*float64(pt.K)-1e-9 {
+			t.Fatalf("k=%d under-provisioned: capacity %v", pt.K, capacity)
+		}
+		// Costs must grow with demand along the path.
+		if i > 0 && pt.Cost <= p.Points[i-1].Cost {
+			t.Fatalf("cost did not grow along the path: %v", p.Points)
+		}
+	}
+	// The searched cost should be near the analytic optimum: with
+	// nodes costing 1 and rate costing 3, the cheapest way to buy
+	// capacity C is max-rate nodes: cost ~ C/8 + 3*8... sweep says the
+	// optimizer trades them; just require it beats naive max-nodes.
+	naive := 10.0*4 + 3*1 // capacity via nodes only at rate 1
+	if p.Points[2].Cost > naive*1.2 {
+		t.Fatalf("k=4 cost %v far above naive %v", p.Points[2].Cost, naive)
+	}
+}
+
+func TestFindScalingPathInfeasible(t *testing.T) {
+	spec := pathSpec()
+	// Cap the variables below the k=4 demand: no assignment works.
+	spec.Vars[0].Max = 2
+	spec.Vars[1].Max = 2
+	p, err := FindScalingPath(PathEvaluatorFunc(pathSystem), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Feasible() {
+		t.Fatal("under-provisioned space reported feasible")
+	}
+}
+
+func TestFindScalingPathValidation(t *testing.T) {
+	good := pathSpec()
+	if _, err := FindScalingPath(nil, good); err == nil {
+		t.Error("nil evaluator accepted")
+	}
+	bad := pathSpec()
+	bad.Vars = nil
+	if _, err := FindScalingPath(PathEvaluatorFunc(pathSystem), bad); err == nil {
+		t.Error("no variables accepted")
+	}
+	bad = pathSpec()
+	bad.Vars[0].Max = 0
+	if _, err := FindScalingPath(PathEvaluatorFunc(pathSystem), bad); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	bad = pathSpec()
+	bad.Vars[0].CostWeight = -1
+	if _, err := FindScalingPath(PathEvaluatorFunc(pathSystem), bad); err == nil {
+		t.Error("negative cost weight accepted")
+	}
+	bad = pathSpec()
+	bad.Demand = nil
+	if _, err := FindScalingPath(PathEvaluatorFunc(pathSystem), bad); err == nil {
+		t.Error("nil demand accepted")
+	}
+	bad = pathSpec()
+	bad.Ks = nil
+	if _, err := FindScalingPath(PathEvaluatorFunc(pathSystem), bad); err == nil {
+		t.Error("no scale factors accepted")
+	}
+}
+
+func TestPathFeasibleEmpty(t *testing.T) {
+	p := &Path{}
+	if p.Feasible() {
+		t.Fatal("empty path reported feasible")
+	}
+}

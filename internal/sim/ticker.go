@@ -1,0 +1,65 @@
+package sim
+
+// Ticker fires a callback at a fixed simulated period until stopped or
+// until the kernel runs out of horizon. It is the building block for
+// periodic status updates, volunteering intervals, and estimator digest
+// cycles.
+type Ticker struct {
+	k      *Kernel
+	period Time
+	fn     func()
+	ev     *Event
+	done   bool
+}
+
+// NewTicker schedules fn every period time units, first firing one period
+// from now. A non-positive period returns a stopped ticker (the process
+// is disabled), which lets callers treat "interval = 0" as "off".
+func NewTicker(k *Kernel, period Time, fn func()) *Ticker {
+	t := &Ticker{k: k, period: period, fn: fn}
+	if period <= 0 {
+		t.done = true
+		return t
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.k.After(t.period, func() {
+		if t.done {
+			return
+		}
+		t.fn()
+		if !t.done { // fn may have stopped us
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker. It is safe to call repeatedly and from within
+// the tick callback.
+func (t *Ticker) Stop() {
+	t.done = true
+	if t.ev != nil {
+		t.k.Cancel(t.ev)
+	}
+}
+
+// Stopped reports whether the ticker has been stopped or was created
+// disabled.
+func (t *Ticker) Stopped() bool { return t.done }
+
+// Period returns the configured period.
+func (t *Ticker) Period() Time { return t.period }
+
+// Reset stops the ticker and restarts it with a new period, firing one
+// new period from now. A non-positive period leaves it stopped.
+func (t *Ticker) Reset(period Time) {
+	t.Stop()
+	t.period = period
+	if period > 0 {
+		t.done = false
+		t.arm()
+	}
+}

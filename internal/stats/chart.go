@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ChartOptions sizes the ASCII rendering of a SeriesSet.
+type ChartOptions struct {
+	// Width and Height are the plot area in characters; zeros pick
+	// 64x20.
+	Width, Height int
+	// LogY plots log10(Y), useful when curves span decades (Figure 4).
+	LogY bool
+}
+
+func (o ChartOptions) withDefaults() ChartOptions {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Width < 16 {
+		o.Width = 16
+	}
+	if o.Height <= 0 {
+		o.Height = 20
+	}
+	if o.Height < 6 {
+		o.Height = 6
+	}
+	return o
+}
+
+// seriesMarks assigns one mark per curve, cycling when there are many.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// WriteChart renders the set as an ASCII chart: one mark per series,
+// linear interpolation between points, a legend, and axis labels. It is
+// the terminal stand-in for the paper's figures.
+func (ss *SeriesSet) WriteChart(w io.Writer, opts ChartOptions) error {
+	opts = opts.withDefaults()
+	if len(ss.Series) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(no series)\n", ss.Title)
+		return err
+	}
+	// Bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	tr := func(y float64) float64 {
+		if opts.LogY {
+			if y <= 0 {
+				return math.NaN()
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+	for _, s := range ss.Series {
+		for i := range s.X {
+			x, y := s.X[i], tr(s.Y[i])
+			if math.IsNaN(y) {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		_, err := fmt.Fprintf(w, "%s\n(no plottable points)\n", ss.Title)
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - minX) / (maxX - minX) * float64(opts.Width-1)))
+		return clampInt(c, 0, opts.Width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((y - minY) / (maxY - minY) * float64(opts.Height-1)))
+		return clampInt(opts.Height-1-r, 0, opts.Height-1)
+	}
+
+	for si, s := range ss.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		// Interpolate along segments so curves read as lines.
+		for i := 0; i+1 < len(s.X); i++ {
+			y0, y1 := tr(s.Y[i]), tr(s.Y[i+1])
+			if math.IsNaN(y0) || math.IsNaN(y1) {
+				continue
+			}
+			c0, c1 := col(s.X[i]), col(s.X[i+1])
+			steps := c1 - c0
+			if steps < 1 {
+				steps = 1
+			}
+			for t := 0; t <= steps; t++ {
+				frac := float64(t) / float64(steps)
+				x := c0 + t
+				y := row(y0 + (y1-y0)*frac)
+				grid[y][clampInt(x, 0, opts.Width-1)] = mark
+			}
+		}
+		if len(s.X) == 1 && !math.IsNaN(tr(s.Y[0])) {
+			grid[row(tr(s.Y[0]))][col(s.X[0])] = mark
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", ss.Title)
+	yLabel := ss.YLabel
+	if opts.LogY {
+		yLabel = "log10 " + yLabel
+	}
+	top, bottom := maxY, minY
+	fmt.Fprintf(&b, "%10.3g |%s\n", top, string(grid[0]))
+	for r := 1; r < opts.Height-1; r++ {
+		fmt.Fprintf(&b, "%10s |%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.3g |%s\n", bottom, string(grid[opts.Height-1]))
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&b, "%10s  %-*g%*g\n", "", opts.Width/2, minX, opts.Width-opts.Width/2, maxX)
+	fmt.Fprintf(&b, "%10s  x: %s, y: %s\n", "", ss.XLabel, yLabel)
+	b.WriteString("            legend:")
+	for si, s := range ss.Series {
+		fmt.Fprintf(&b, " %c=%s", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

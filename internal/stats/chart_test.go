@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteChartBasics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleSet().WriteChart(&buf, ChartOptions{Width: 40, Height: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure X", "legend:", "*=CENTRAL", "o=LOWEST", "x: k"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Plot area height + title + axis + labels + legend.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 10+4+1 {
+		t.Fatalf("chart has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("marks missing from plot")
+	}
+}
+
+func TestWriteChartLogY(t *testing.T) {
+	ss := &SeriesSet{Title: "log", XLabel: "k", YLabel: "G"}
+	ss.Add(Series{Name: "big", X: []float64{1, 2, 3}, Y: []float64{1, 100, 10000}})
+	var buf bytes.Buffer
+	if err := ss.WriteChart(&buf, ChartOptions{LogY: true, Width: 30, Height: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "log10 G") {
+		t.Fatal("log axis label missing")
+	}
+	// log10(10000) = 4 should appear as the top axis value.
+	if !strings.Contains(buf.String(), "4 |") {
+		t.Fatalf("top label wrong:\n%s", buf.String())
+	}
+}
+
+func TestWriteChartLogYSkipsNonPositive(t *testing.T) {
+	ss := &SeriesSet{Title: "bad", XLabel: "k", YLabel: "y"}
+	ss.Add(Series{Name: "zeros", X: []float64{1, 2}, Y: []float64{0, -5}})
+	var buf bytes.Buffer
+	if err := ss.WriteChart(&buf, ChartOptions{LogY: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no plottable points") {
+		t.Fatalf("expected empty-plot message:\n%s", buf.String())
+	}
+}
+
+func TestWriteChartEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	ss := &SeriesSet{Title: "empty"}
+	if err := ss.WriteChart(&buf, ChartOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no series") {
+		t.Fatal("empty chart message missing")
+	}
+}
+
+func TestWriteChartSinglePoint(t *testing.T) {
+	ss := &SeriesSet{Title: "dot", XLabel: "k", YLabel: "y"}
+	ss.Add(Series{Name: "p", X: []float64{5}, Y: []float64{7}})
+	var buf bytes.Buffer
+	if err := ss.WriteChart(&buf, ChartOptions{Width: 20, Height: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("single point not plotted")
+	}
+}
+
+func TestWriteChartFlatSeries(t *testing.T) {
+	ss := &SeriesSet{Title: "flat", XLabel: "k", YLabel: "y"}
+	ss.Add(Series{Name: "c", X: []float64{1, 2, 3}, Y: []float64{4, 4, 4}})
+	var buf bytes.Buffer
+	// Degenerate Y range must not divide by zero.
+	if err := ss.WriteChart(&buf, ChartOptions{Width: 20, Height: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartOptionsDefaults(t *testing.T) {
+	o := ChartOptions{}.withDefaults()
+	if o.Width != 64 || o.Height != 20 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o = ChartOptions{Width: 3, Height: 2}.withDefaults()
+	if o.Width < 16 || o.Height < 6 {
+		t.Fatalf("minimums not enforced: %+v", o)
+	}
+}

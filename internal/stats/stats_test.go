@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); got != c.want {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almost(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := StdDev(xs); !almost(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -2, 7, 0}
+	if Min(xs) != -2 || Max(xs) != 7 || Sum(xs) != 8 {
+		t.Errorf("Min/Max/Sum = %v/%v/%v", Min(xs), Max(xs), Sum(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max should be ±Inf")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("P25 = %v", got)
+	}
+	if got := Percentile([]float64{9}, 75); got != 9 {
+		t.Errorf("P75 single = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	slope, intercept := LinearFit(x, y)
+	if !almost(slope, 2, 1e-12) || !almost(intercept, 3, 1e-12) {
+		t.Errorf("fit = (%v, %v), want (2, 3)", slope, intercept)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	slope, intercept := LinearFit([]float64{2, 2}, []float64{1, 5})
+	if slope != 0 || intercept != 3 {
+		t.Errorf("degenerate fit = (%v, %v), want (0, 3)", slope, intercept)
+	}
+	slope, intercept = LinearFit([]float64{1}, []float64{7})
+	if slope != 0 || intercept != 7 {
+		t.Errorf("single-point fit = (%v, %v)", slope, intercept)
+	}
+}
+
+func TestSlopes(t *testing.T) {
+	got := Slopes([]float64{1, 2, 4}, []float64{10, 20, 10})
+	want := []float64{10, -5}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Slopes = %v, want %v", got, want)
+	}
+	if Slopes([]float64{1}, []float64{1}) != nil {
+		t.Error("single point should give nil slopes")
+	}
+	if got := Slopes([]float64{1, 1}, []float64{3, 9}); got[0] != 0 {
+		t.Error("zero dx should give slope 0")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{4, 8, 2})
+	want := []float64{1, 2, 0.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Normalize = %v, want %v", got, want)
+		}
+	}
+	in := []float64{0, 5}
+	got = Normalize(in)
+	if got[0] != 0 || got[1] != 5 {
+		t.Errorf("Normalize with zero base = %v, want copy", got)
+	}
+	got[1] = 99
+	if in[1] != 5 {
+		t.Error("Normalize must not alias its input")
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	if a.N() != len(xs) {
+		t.Fatalf("N = %d", a.N())
+	}
+	if !almost(a.Mean(), Mean(xs), 1e-12) {
+		t.Errorf("Mean = %v, want %v", a.Mean(), Mean(xs))
+	}
+	if !almost(a.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("Variance = %v, want %v", a.Variance(), Variance(xs))
+	}
+	if a.Min() != 1 || a.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	if a.Sum() != Sum(xs) {
+		t.Errorf("Sum = %v", a.Sum())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.N() != 0 {
+		t.Error("empty accumulator should be all zero")
+	}
+	if !math.IsInf(a.Min(), 1) || !math.IsInf(a.Max(), -1) {
+		t.Error("empty accumulator Min/Max should be ±Inf")
+	}
+}
+
+// Property: accumulator mean always lies within [min, max].
+func TestAccumulatorMeanBoundsProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var a Accumulator
+		for _, r := range raw {
+			a.Add(float64(r))
+		}
+		return a.Mean() >= a.Min()-1e-9 && a.Mean() <= a.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Normalize(xs)[0] == 1 whenever xs[0] != 0.
+func TestNormalizeFirstElementProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		if xs[0] == 0 {
+			return true
+		}
+		return Normalize(xs)[0] == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

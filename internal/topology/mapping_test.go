@@ -1,0 +1,175 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmscale/internal/sim"
+)
+
+func testGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	g, err := PowerLaw(n, 2, DefaultLinkParams(), stream("mapgraph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMapGridBasic(t *testing.T) {
+	g := testGraph(t, 200)
+	spec := GridSpec{Clusters: 8, ClusterSize: 12, Estimators: 4}
+	m, err := MapGrid(g, spec, stream("map"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if m.Resources() != 96 {
+		t.Fatalf("Resources() = %d, want 96", m.Resources())
+	}
+	routers := 0
+	for _, r := range m.Roles {
+		if r == RoleRouter {
+			routers++
+		}
+	}
+	if routers != 200-spec.Nodes() {
+		t.Fatalf("routers = %d, want %d", routers, 200-spec.Nodes())
+	}
+}
+
+func TestMapGridNoEstimators(t *testing.T) {
+	g := testGraph(t, 100)
+	m, err := MapGrid(g, GridSpec{Clusters: 5, ClusterSize: 10}, stream("map0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.EstimatorNode) != 0 {
+		t.Fatalf("unexpected estimators: %v", m.EstimatorNode)
+	}
+	if err := m.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapGridExactFit(t *testing.T) {
+	// Every node is claimed: 4 schedulers + 4*5 resources + 2 estimators = 26.
+	g := testGraph(t, 26)
+	spec := GridSpec{Clusters: 4, ClusterSize: 5, Estimators: 2}
+	m, err := MapGrid(g, spec, stream("fit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	for u, r := range m.Roles {
+		if r == RoleRouter {
+			t.Fatalf("node %d left as router in exact-fit mapping", u)
+		}
+	}
+}
+
+func TestMapGridTooSmall(t *testing.T) {
+	g := testGraph(t, 10)
+	if _, err := MapGrid(g, GridSpec{Clusters: 4, ClusterSize: 5}, stream("x")); err == nil {
+		t.Fatal("over-full spec accepted")
+	}
+}
+
+func TestMapGridRejectsDisconnected(t *testing.T) {
+	g := NewGraph(10)
+	mustEdge(t, g, 0, 1)
+	if _, err := MapGrid(g, GridSpec{Clusters: 1, ClusterSize: 1}, stream("x")); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestGridSpecValidate(t *testing.T) {
+	cases := []GridSpec{
+		{Clusters: 0, ClusterSize: 1},
+		{Clusters: 1, ClusterSize: 0},
+		{Clusters: 1, ClusterSize: 1, Estimators: -1},
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("spec %+v accepted", c)
+		}
+	}
+	if err := (GridSpec{Clusters: 2, ClusterSize: 3}).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestGridSpecNodes(t *testing.T) {
+	s := GridSpec{Clusters: 3, ClusterSize: 4, Estimators: 2}
+	if s.Nodes() != 3+12+2 {
+		t.Fatalf("Nodes() = %d", s.Nodes())
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleRouter.String() != "router" || RoleScheduler.String() != "scheduler" ||
+		RoleResource.String() != "resource" || RoleEstimator.String() != "estimator" {
+		t.Fatal("role names wrong")
+	}
+	if Role(99).String() == "" {
+		t.Fatal("unknown role should still render")
+	}
+}
+
+func TestMapGridDeterministic(t *testing.T) {
+	spec := GridSpec{Clusters: 6, ClusterSize: 8, Estimators: 3}
+	g := testGraph(t, 120)
+	a, err := MapGrid(g, spec, stream("det"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MapGrid(g, spec, stream("det"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.SchedulerNode {
+		if a.SchedulerNode[c] != b.SchedulerNode[c] {
+			t.Fatalf("scheduler placement differs at cluster %d", c)
+		}
+	}
+	for r := range a.ResourceNode {
+		if a.ResourceNode[r] != b.ResourceNode[r] {
+			t.Fatalf("resource placement differs at %d", r)
+		}
+	}
+}
+
+// Property: for arbitrary feasible specs the mapping validates and roles
+// partition the node set.
+func TestMapGridProperty(t *testing.T) {
+	src := sim.NewSource(99)
+	g, err := PowerLaw(150, 2, DefaultLinkParams(), src.Stream("g"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	f := func(c, s, e uint8) bool {
+		i++
+		spec := GridSpec{
+			Clusters:    1 + int(c%8),
+			ClusterSize: 1 + int(s%12),
+			Estimators:  int(e % 5),
+		}
+		if spec.Nodes() > g.N {
+			return true
+		}
+		m, err := MapGrid(g, spec, src.Stream("m"))
+		if err != nil {
+			t.Logf("iteration %d spec %+v: %v", i, spec, err)
+			return false
+		}
+		return m.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

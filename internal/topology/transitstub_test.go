@@ -1,0 +1,98 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestTransitStubShape(t *testing.T) {
+	p := DefaultTransitStubParams()
+	g, err := TransitStub(p, DefaultLinkParams(), stream("ts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != p.Nodes() {
+		t.Fatalf("N = %d, want %d", g.N, p.Nodes())
+	}
+	if !g.Connected() {
+		t.Fatal("transit-stub graph disconnected")
+	}
+	if g.Edges() < g.N-1 {
+		t.Fatalf("too few edges: %d", g.Edges())
+	}
+}
+
+func TestTransitStubNodesFormula(t *testing.T) {
+	p := TransitStubParams{TransitDomains: 2, TransitSize: 3, StubsPerTransitNode: 2, StubSize: 4}
+	// 6 transit + 6*2 stubs * 4 = 54.
+	if p.Nodes() != 54 {
+		t.Fatalf("Nodes() = %d, want 54", p.Nodes())
+	}
+}
+
+func TestTransitStubSingleDomain(t *testing.T) {
+	p := TransitStubParams{TransitDomains: 1, TransitSize: 1, StubsPerTransitNode: 1, StubSize: 3}
+	g, err := TransitStub(p, DefaultLinkParams(), stream("ts1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4 || !g.Connected() {
+		t.Fatalf("tiny transit-stub wrong: N=%d connected=%v", g.N, g.Connected())
+	}
+}
+
+func TestTransitStubNoStubs(t *testing.T) {
+	p := TransitStubParams{TransitDomains: 2, TransitSize: 4}
+	g, err := TransitStub(p, DefaultLinkParams(), stream("ts0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 8 || !g.Connected() {
+		t.Fatalf("core-only transit-stub wrong: N=%d", g.N)
+	}
+}
+
+func TestTransitStubValidation(t *testing.T) {
+	bad := []TransitStubParams{
+		{TransitDomains: 0, TransitSize: 1, StubSize: 1},
+		{TransitDomains: 1, TransitSize: 0, StubSize: 1},
+		{TransitDomains: 1, TransitSize: 1, StubsPerTransitNode: -1, StubSize: 1},
+		{TransitDomains: 1, TransitSize: 1, StubsPerTransitNode: 1, StubSize: 0},
+		{TransitDomains: 1, TransitSize: 1, StubSize: -1},
+		{TransitDomains: 1, TransitSize: 1, StubSize: 1, ExtraEdgeProb: 1.5},
+	}
+	for i, p := range bad {
+		if _, err := TransitStub(p, DefaultLinkParams(), stream("x")); err == nil {
+			t.Errorf("params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestTransitStubMapsGrid(t *testing.T) {
+	p := DefaultTransitStubParams()
+	g, err := TransitStub(p, DefaultLinkParams(), stream("tsmap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapGrid(g, GridSpec{Clusters: 6, ClusterSize: 10}, stream("tsm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitStubDeterministic(t *testing.T) {
+	p := DefaultTransitStubParams()
+	a, err := TransitStub(p, DefaultLinkParams(), stream("det"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TransitStub(p, DefaultLinkParams(), stream("det"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Edges() != b.Edges() {
+		t.Fatalf("same seed gave %d vs %d edges", a.Edges(), b.Edges())
+	}
+}

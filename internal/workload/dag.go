@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+
+	"rmscale/internal/sim"
+)
+
+// The paper's future work item (b): "evaluating scenarios where jobs
+// have data dependencies and precedence constraints among them". This
+// file adds precedence constraints to the workload model: a job may
+// depend on earlier jobs and becomes eligible for scheduling only when
+// every dependency has completed. The grid engine enforces the
+// constraint by holding dependent jobs until their parents finish.
+
+// DAGParams extends the generator with precedence structure.
+type DAGParams struct {
+	Params
+	// DepProb is the probability that a job depends on earlier jobs.
+	DepProb float64
+	// MaxDeps bounds the number of parents per job (1-3 typical).
+	MaxDeps int
+	// Window is how far back (in jobs) a parent may be drawn from;
+	// dependencies on long-completed jobs are vacuous, so a small
+	// window keeps the constraints meaningful.
+	Window int
+}
+
+// DefaultDAGParams returns a moderately chained workload.
+func DefaultDAGParams() DAGParams {
+	return DAGParams{
+		Params:  DefaultParams(),
+		DepProb: 0.3,
+		MaxDeps: 2,
+		Window:  20,
+	}
+}
+
+// Validate reports the first bad parameter.
+func (p DAGParams) Validate() error {
+	if err := p.Params.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case p.DepProb < 0 || p.DepProb > 1:
+		return fmt.Errorf("workload: DepProb %v outside [0,1]", p.DepProb)
+	case p.MaxDeps < 1:
+		return fmt.Errorf("workload: MaxDeps must be >= 1, got %d", p.MaxDeps)
+	case p.Window < 1:
+		return fmt.Errorf("workload: Window must be >= 1, got %d", p.Window)
+	}
+	return nil
+}
+
+// GenerateDAG produces a job stream with precedence constraints: each
+// job's Deps reference the IDs of strictly earlier jobs. The result is
+// acyclic by construction.
+func GenerateDAG(p DAGParams, st *sim.Stream) ([]*Job, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	jobs, err := Generate(p.Params, st)
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		if i == 0 || !st.Bool(p.DepProb) {
+			continue
+		}
+		n := st.IntRange(1, p.MaxDeps)
+		lo := i - p.Window
+		if lo < 0 {
+			lo = 0
+		}
+		seen := map[int]bool{}
+		for d := 0; d < n; d++ {
+			parent := jobs[st.IntRange(lo, i-1)].ID
+			if !seen[parent] {
+				seen[parent] = true
+				j.Deps = append(j.Deps, parent)
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// ValidateDAG checks that every dependency references an earlier job id
+// present in the stream (acyclicity follows from "earlier").
+func ValidateDAG(jobs []*Job) error {
+	ids := make(map[int]int, len(jobs)) // id -> index
+	for i, j := range jobs {
+		ids[j.ID] = i
+	}
+	for i, j := range jobs {
+		for _, d := range j.Deps {
+			pi, ok := ids[d]
+			if !ok {
+				return fmt.Errorf("workload: job %d depends on unknown job %d", j.ID, d)
+			}
+			if pi >= i {
+				return fmt.Errorf("workload: job %d depends on non-earlier job %d", j.ID, d)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmscale/internal/sim"
+)
+
+func TestGenerateDAG(t *testing.T) {
+	p := DefaultDAGParams()
+	p.ArrivalRate = 2
+	p.Horizon = 2000
+	jobs, err := GenerateDAG(p, stream("dag"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateDAG(jobs); err != nil {
+		t.Fatal(err)
+	}
+	withDeps := 0
+	for _, j := range jobs {
+		if len(j.Deps) > 0 {
+			withDeps++
+		}
+		if len(j.Deps) > p.MaxDeps {
+			t.Fatalf("job %d has %d deps, max %d", j.ID, len(j.Deps), p.MaxDeps)
+		}
+	}
+	frac := float64(withDeps) / float64(len(jobs))
+	if frac < 0.15 || frac > 0.45 {
+		t.Fatalf("dependent fraction = %v, want ~%v", frac, p.DepProb)
+	}
+}
+
+func TestGenerateDAGWindow(t *testing.T) {
+	p := DefaultDAGParams()
+	p.ArrivalRate = 3
+	p.Horizon = 2000
+	p.Window = 5
+	jobs, err := GenerateDAG(p, stream("dagwin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[int]int{}
+	for i, j := range jobs {
+		idx[j.ID] = i
+	}
+	for i, j := range jobs {
+		for _, d := range j.Deps {
+			if i-idx[d] > p.Window {
+				t.Fatalf("job %d depends on job %d, %d positions back (window %d)",
+					j.ID, d, i-idx[d], p.Window)
+			}
+		}
+	}
+}
+
+func TestDAGParamsValidate(t *testing.T) {
+	bad := []func(*DAGParams){
+		func(p *DAGParams) { p.DepProb = -0.1 },
+		func(p *DAGParams) { p.DepProb = 1.1 },
+		func(p *DAGParams) { p.MaxDeps = 0 },
+		func(p *DAGParams) { p.Window = 0 },
+		func(p *DAGParams) { p.ArrivalRate = 0 },
+	}
+	for i, mut := range bad {
+		p := DefaultDAGParams()
+		mut(&p)
+		if _, err := GenerateDAG(p, stream("x")); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestValidateDAGCatchesCorruption(t *testing.T) {
+	jobs := []*Job{
+		{ID: 0, Arrival: 0, Runtime: 10},
+		{ID: 1, Arrival: 5, Runtime: 10, Deps: []int{0}},
+	}
+	if err := ValidateDAG(jobs); err != nil {
+		t.Fatal(err)
+	}
+	jobs[1].Deps = []int{99}
+	if err := ValidateDAG(jobs); err == nil {
+		t.Error("unknown dependency accepted")
+	}
+	jobs[1].Deps = []int{1}
+	if err := ValidateDAG(jobs); err == nil {
+		t.Error("self-dependency accepted")
+	}
+	jobs[0].Deps = []int{1}
+	jobs[1].Deps = nil
+	if err := ValidateDAG(jobs); err == nil {
+		t.Error("forward dependency accepted")
+	}
+}
+
+// Property: generated DAGs always validate, for arbitrary dep
+// probabilities and windows.
+func TestGenerateDAGProperty(t *testing.T) {
+	src := sim.NewSource(17)
+	f := func(prob, win uint8) bool {
+		p := DefaultDAGParams()
+		p.ArrivalRate = 1
+		p.Horizon = 500
+		p.DepProb = float64(prob%100) / 100
+		p.Window = 1 + int(win%30)
+		jobs, err := GenerateDAG(p, src.Stream("prop"))
+		if err != nil {
+			return false
+		}
+		return ValidateDAG(jobs) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

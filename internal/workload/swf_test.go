@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleSWF = `; Sample SWF header
+; MaxJobs: 6
+1 0 5 120 4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1
+2 10 0 900 1 -1 -1 1 1000 -1 1 3 1 -1 1 -1 -1 -1
+3 20 0 50 1 -1 -1 1 40 -1 1 3 1 -1 1 -1 -1 -1
+4 30 0 100 1 -1 -1 1 150 -1 5 3 1 -1 1 -1 -1 -1
+5 40 0 -1 1 -1 -1 1 150 -1 1 3 1 -1 1 -1 -1 -1
+6 50 0 100 1 -1 -1 1 150 -1 0 3 1 -1 1 -1 -1 -1
+`
+
+func TestReadSWF(t *testing.T) {
+	jobs, err := ReadSWF(strings.NewReader(sampleSWF), SWFOptions{Clusters: 2}, stream("swf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 4 cancelled, job 5 has no runtime, job 6 failed: 3 remain.
+	if len(jobs) != 3 {
+		t.Fatalf("imported %d jobs, want 3", len(jobs))
+	}
+	j := jobs[0]
+	if j.Arrival != 0 || j.Runtime != 120 || j.Requested != 200 {
+		t.Fatalf("job 0 fields: %+v", j)
+	}
+	if j.Class != Local {
+		t.Fatal("120s job should be LOCAL under T_CPU=700")
+	}
+	if jobs[1].Class != Remote {
+		t.Fatal("900s job should be REMOTE")
+	}
+	// Requested below runtime is clamped up.
+	if jobs[2].Runtime != 50 || jobs[2].Requested != 50 {
+		t.Fatalf("job 2 requested not clamped: %+v", jobs[2])
+	}
+	for i, j := range jobs {
+		if j.Partition != 1 {
+			t.Fatalf("partition forced to 1, got %d", j.Partition)
+		}
+		if j.Benefit < 2 || j.Benefit > 5 {
+			t.Fatalf("benefit %v outside [2,5]", j.Benefit)
+		}
+		if j.Cluster != i%2 {
+			t.Fatalf("cluster spread wrong: job %d in %d", i, j.Cluster)
+		}
+	}
+}
+
+func TestReadSWFIncludeFailed(t *testing.T) {
+	jobs, err := ReadSWF(strings.NewReader(sampleSWF), SWFOptions{IncludeFailed: true}, stream("swf2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("imported %d jobs with failed included, want 4", len(jobs))
+	}
+}
+
+func TestReadSWFMaxJobs(t *testing.T) {
+	jobs, err := ReadSWF(strings.NewReader(sampleSWF), SWFOptions{MaxJobs: 2}, stream("swf3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("MaxJobs ignored: %d", len(jobs))
+	}
+}
+
+func TestReadSWFErrors(t *testing.T) {
+	if _, err := ReadSWF(strings.NewReader("1 2 3\n"), SWFOptions{}, stream("x")); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, err := ReadSWF(strings.NewReader("1 x 0 10 1 -1 -1 1 10 -1 1\n"), SWFOptions{}, stream("x")); err == nil {
+		t.Error("bad number accepted")
+	}
+	if _, err := ReadSWF(strings.NewReader(""), SWFOptions{Clusters: -1}, stream("x")); err == nil {
+		t.Error("negative clusters accepted")
+	}
+	if _, err := ReadSWF(strings.NewReader(""), SWFOptions{BenefitMin: 3, BenefitMax: 2}, stream("x")); err == nil {
+		t.Error("inverted benefit range accepted")
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	p := DefaultParams()
+	p.Horizon = 400
+	orig, err := Generate(p, stream("swfgen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSWF(&buf, SWFOptions{}, stream("swfrt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip lost jobs: %d vs %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i].Arrival != orig[i].Arrival || got[i].Runtime != orig[i].Runtime {
+			t.Fatalf("job %d timing changed: %+v vs %+v", i, got[i], orig[i])
+		}
+		if got[i].Requested < got[i].Runtime {
+			t.Fatalf("job %d requested below runtime", i)
+		}
+	}
+}
+
+func TestReadSWFSkipsCommentsAndBlanks(t *testing.T) {
+	in := "; comment\n\n  \n1 0 0 10 1 -1 -1 1 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+	jobs, err := ReadSWF(strings.NewReader(in), SWFOptions{}, stream("swf4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+}
