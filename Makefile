@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+# The gate CI runs: vet + full test suite + race on the concurrent packages.
+check: vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+# The runner's pool/cache/journal and the experiment driver are the
+# concurrent surface; keep them race-clean.
+race:
+	$(GO) test -race ./internal/runner/... ./internal/experiments/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -30,10 +30,12 @@ package rmscale
 
 import (
 	"io"
+	"os"
 
 	"rmscale/internal/experiments"
 	"rmscale/internal/grid"
 	"rmscale/internal/rms"
+	"rmscale/internal/runner"
 	"rmscale/internal/scale"
 	"rmscale/internal/sim"
 	"rmscale/internal/stats"
@@ -112,6 +114,34 @@ type (
 	// CaseResult is the outcome of one experiment case.
 	CaseResult = experiments.Result
 )
+
+// Execution layer (the runner subsystem): parallel, cached,
+// checkpoint/resumable experiment execution.
+type (
+	// RunSpec configures experiment execution: worker count, run
+	// directory (disk cache + checkpoint journal + runstate.json),
+	// progress sinks and cancellation.
+	RunSpec = experiments.RunSpec
+	// RunSnapshot is the machine-readable progress state the runner
+	// writes to runstate.json.
+	RunSnapshot = runner.Snapshot
+)
+
+// RunCaseSpec runs one experiment case under full execution control.
+func RunCaseSpec(id int, spec RunSpec) (*CaseResult, error) {
+	return experiments.RunCaseSpec(id, spec)
+}
+
+// RunAllSpec runs all four cases on one shared work-stealing pool.
+func RunAllSpec(spec RunSpec) ([]*CaseResult, error) {
+	return experiments.RunAllSpec(spec)
+}
+
+// WriteFileAtomic writes data to path via a same-directory temp file
+// and rename, so an interrupted writer never leaves a truncated file.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return runner.WriteFileAtomic(path, data, perm)
+}
 
 // Fidelity levels for the experiment drivers.
 const (

@@ -14,6 +14,8 @@ package rmscale_test
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"rmscale"
@@ -179,6 +181,42 @@ func BenchmarkTables2to5(b *testing.B) {
 		if err := rmscale.ScalingTables(io.Discard); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunnerColdPath times a full Smoke case through the runner
+// with nothing cached: every tuner evaluation simulates. This is the
+// baseline the cache-hit bench is read against in the perf trajectory.
+func BenchmarkRunnerColdPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := rmscale.RunCaseSpec(4, rmscale.RunSpec{
+			Fidelity: rmscale.Smoke, Seed: benchSeed, Workers: 4,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerCacheHit times the same case against a warm
+// content-addressed disk cache. The checkpoint journal is removed
+// between iterations so the run re-tunes end to end and the measured
+// speedup is the cache's alone, not journal adoption's.
+func BenchmarkRunnerCacheHit(b *testing.B) {
+	dir := b.TempDir()
+	warm := func() {
+		if _, err := rmscale.RunCaseSpec(4, rmscale.RunSpec{
+			Fidelity: rmscale.Smoke, Seed: benchSeed, Workers: 4, Dir: dir,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.Remove(filepath.Join(dir, "journal.jsonl")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	warm()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm()
 	}
 }
 

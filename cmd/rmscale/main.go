@@ -20,10 +20,22 @@
 //	-seed N                      master random seed (default 1)
 //	-format table|chart|csv|json output format (default table)
 //	-out DIR                     also save each figure as CSV+JSON files
-//	-v                           log tuning progress per (model, k)
+//	-j N                         worker-pool size (default GOMAXPROCS)
+//	-resume DIR                  checkpoint directory: journal completed
+//	                             (model, k) points there, cache
+//	                             simulations on disk, and resume an
+//	                             interrupted run with the same
+//	                             fidelity/seed from what it holds
+//	-v                           log tuning progress per (model, k) and
+//	                             runner job progress
+//
+// Results are deterministic in -seed: serial, parallel and
+// cache-warm/resumed executions of the same case produce identical
+// tables.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -47,9 +59,14 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "master random seed")
 	format := fs.String("format", "table", "table, chart, csv or json")
 	outDir := fs.String("out", "", "also write each figure as CSV and JSON into this directory")
+	workers := fs.Int("j", 0, "worker-pool size; 0 picks GOMAXPROCS")
+	resumeDir := fs.String("resume", "", "checkpoint directory for journaling, disk caching and resuming")
 	verbose := fs.Bool("v", false, "log tuning progress")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-j must be >= 0, got %d", *workers)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need exactly one command: case1, case2, case3, case4, all or tables")
@@ -64,12 +81,18 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var progress func(string, rmscale.Point)
+	spec := rmscale.RunSpec{
+		Fidelity: fid,
+		Seed:     *seed,
+		Workers:  *workers,
+		Dir:      *resumeDir,
+	}
 	if *verbose {
-		progress = func(model string, p rmscale.Point) {
+		spec.Progress = func(model string, p rmscale.Point) {
 			fmt.Fprintf(os.Stderr, "tuned %-8s k=%d G=%.1f E=%.3f feasible=%v evals=%d\n",
 				model, p.K, p.G, p.Obs.Efficiency, p.Feasible, p.Evals)
 		}
+		spec.Log = os.Stderr
 	}
 
 	emit := func(ss *rmscale.SeriesSet) error {
@@ -135,32 +158,14 @@ func run(args []string, out io.Writer) error {
 	}
 
 	switch cmd {
-	case "case1":
-		r, err := rmscale.RunCase1(fid, *seed, progress)
-		if err != nil {
-			return err
-		}
-		return emitCase(r)
-	case "case2":
-		r, err := rmscale.RunCase2(fid, *seed, progress)
-		if err != nil {
-			return err
-		}
-		return emitCase(r)
-	case "case3":
-		r, err := rmscale.RunCase3(fid, *seed, progress)
-		if err != nil {
-			return err
-		}
-		return emitCase(r)
-	case "case4":
-		r, err := rmscale.RunCase4(fid, *seed, progress)
+	case "case1", "case2", "case3", "case4":
+		r, err := rmscale.RunCaseSpec(int(cmd[4]-'0'), spec)
 		if err != nil {
 			return err
 		}
 		return emitCase(r)
 	case "all":
-		rs, err := rmscale.RunAll(fid, *seed, progress)
+		rs, err := rmscale.RunAllSpec(spec)
 		if err != nil {
 			return err
 		}
@@ -186,7 +191,8 @@ func run(args []string, out io.Writer) error {
 }
 
 // saveFigure writes one figure as CSV and JSON files named after its
-// title.
+// title. Each file is written atomically (temp file + rename) so an
+// interrupted run never leaves a truncated result file behind.
 func saveFigure(dir string, ss *rmscale.SeriesSet) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -205,20 +211,18 @@ func saveFigure(dir string, ss *rmscale.SeriesSet) error {
 	for len(slug) > 0 && strings.Contains(slug, "--") {
 		slug = strings.ReplaceAll(slug, "--", "-")
 	}
-	csvF, err := os.Create(filepath.Join(dir, slug+".csv"))
-	if err != nil {
+	var csvBuf bytes.Buffer
+	if err := ss.WriteCSV(&csvBuf); err != nil {
 		return err
 	}
-	defer csvF.Close()
-	if err := ss.WriteCSV(csvF); err != nil {
+	if err := rmscale.WriteFileAtomic(filepath.Join(dir, slug+".csv"), csvBuf.Bytes(), 0o644); err != nil {
 		return err
 	}
-	jsonF, err := os.Create(filepath.Join(dir, slug+".json"))
-	if err != nil {
+	var jsonBuf bytes.Buffer
+	if err := ss.WriteJSON(&jsonBuf); err != nil {
 		return err
 	}
-	defer jsonF.Close()
-	return ss.WriteJSON(jsonF)
+	return rmscale.WriteFileAtomic(filepath.Join(dir, slug+".json"), jsonBuf.Bytes(), 0o644)
 }
 
 func printTables(out io.Writer) error {

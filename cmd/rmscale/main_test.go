@@ -138,3 +138,49 @@ func TestChartFormatSmoke(t *testing.T) {
 		t.Fatal("chart output missing legend")
 	}
 }
+
+func TestWorkerAndResumeFlagParsing(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-j", "-1", "-fidelity", "smoke", "case4"}, &buf); err == nil {
+		t.Error("negative -j accepted")
+	}
+	if err := run([]string{"-j", "bogus", "-fidelity", "smoke", "case4"}, &buf); err == nil {
+		t.Error("non-numeric -j accepted")
+	}
+	// -j and -resume parse and thread through on the tables command
+	// path too (they are simply unused there).
+	if err := run([]string{"-j", "2", "-resume", t.TempDir(), "tables"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSmokeResume runs a case into a checkpoint directory, then reruns
+// with -resume and checks the second pass adopts the journal and emits
+// byte-identical output.
+func TestSmokeResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case run is slow")
+	}
+	dir := t.TempDir()
+	var first bytes.Buffer
+	if err := run([]string{"-fidelity", "smoke", "-j", "2", "-resume", dir, "case4"}, &first); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"journal.jsonl", "runstate.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("checkpoint artifact missing: %v", err)
+		}
+	}
+	var second bytes.Buffer
+	if err := run([]string{"-fidelity", "smoke", "-j", "2", "-resume", dir, "case4"}, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("resumed output differs:\n--- first ---\n%s\n--- second ---\n%s", &first, &second)
+	}
+	// Resuming under different parameters must refuse.
+	var third bytes.Buffer
+	if err := run([]string{"-fidelity", "smoke", "-seed", "2", "-resume", dir, "case4"}, &third); err == nil {
+		t.Error("resume with a different seed accepted")
+	}
+}

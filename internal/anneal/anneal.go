@@ -59,6 +59,24 @@ type Result struct {
 // total is the annealing energy.
 func (r Result) total() float64 { return r.Cost + r.Penalty }
 
+// EvalCache memoizes objective evaluations across searches. Minimize
+// consults it (keyed by PointKey) before calling the objective and
+// stores every fresh evaluation back. Implementations must return
+// results exactly as stored — the measurement framework relies on a
+// cache hit being indistinguishable from re-evaluating — and must be
+// safe for use from the single goroutine running Minimize. The zero
+// behaviour (nil Cache) is a private per-call map.
+type EvalCache interface {
+	Get(key string) (Result, bool)
+	Put(key string, r Result)
+}
+
+// mapCache is the default per-call memo.
+type mapCache map[string]Result
+
+func (m mapCache) Get(key string) (Result, bool) { r, ok := m[key]; return r, ok }
+func (m mapCache) Put(key string, r Result)      { m[key] = r }
+
 // Options tunes the search.
 type Options struct {
 	// Iters is the number of annealing steps per restart.
@@ -77,6 +95,10 @@ type Options struct {
 	Step float64
 	// Seed feeds the deterministic random streams.
 	Seed int64
+	// Cache, when non-nil, supplies the evaluation memo — e.g. a
+	// persistent content-addressed store shared across runs — in place
+	// of the private per-call map.
+	Cache EvalCache
 }
 
 func (o Options) withDefaults() Options {
@@ -124,16 +146,19 @@ func Minimize(dims []Dim, start []float64, obj Objective, o Options) (Outcome, e
 	o = o.withDefaults()
 
 	src := sim.NewSource(o.Seed)
-	cache := make(map[string]Result)
+	cache := o.Cache
+	if cache == nil {
+		cache = make(mapCache)
+	}
 	out := Outcome{}
 	evaluate := func(x []float64) Result {
-		key := pointKey(x)
-		if r, ok := cache[key]; ok {
+		key := PointKey(x)
+		if r, ok := cache.Get(key); ok {
 			out.CacheHit++
 			return r
 		}
 		r := obj(x)
-		cache[key] = r
+		cache.Put(key, r)
 		out.Evals++
 		return r
 	}
@@ -218,9 +243,9 @@ func neighbour(dims []Dim, cur []float64, step float64, st *sim.Stream) []float6
 	return out
 }
 
-// pointKey builds a cache key with enough precision to distinguish
-// meaningfully different points.
-func pointKey(x []float64) string {
+// PointKey builds the evaluation-cache key for a candidate point, with
+// enough precision to distinguish meaningfully different points.
+func PointKey(x []float64) string {
 	b := make([]byte, 0, len(x)*12)
 	for _, v := range x {
 		b = appendFloat(b, v)

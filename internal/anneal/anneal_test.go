@@ -176,3 +176,71 @@ func TestBetterOrdering(t *testing.T) {
 		t.Error("energy must include penalty")
 	}
 }
+
+// sharedCache is a test EvalCache recording traffic.
+type sharedCache struct {
+	m    map[string]Result
+	hits int
+	puts int
+}
+
+func (c *sharedCache) Get(key string) (Result, bool) {
+	r, ok := c.m[key]
+	if ok {
+		c.hits++
+	}
+	return r, ok
+}
+
+func (c *sharedCache) Put(key string, r Result) { c.m[key] = r; c.puts++ }
+
+// TestEvalCacheHook checks that a caller-supplied cache replaces the
+// private memo: a second search over a warm cache performs zero fresh
+// evaluations yet lands on the identical outcome.
+func TestEvalCacheHook(t *testing.T) {
+	dims := []Dim{{Name: "x", Min: -4, Max: 4}}
+	obj := func(x []float64) Result {
+		v := (x[0] - 1) * (x[0] - 1)
+		return Result{Cost: v, Feasible: true}
+	}
+	o := Options{Iters: 25, Restarts: 2, Seed: 11}
+
+	cache := &sharedCache{m: make(map[string]Result)}
+	o.Cache = cache
+	first, err := Minimize(dims, nil, obj, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.puts == 0 {
+		t.Fatal("cache saw no evaluations")
+	}
+	if first.Evals == 0 {
+		t.Fatal("first search reported zero evaluations")
+	}
+
+	second, err := Minimize(dims, nil, obj, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Evals != 0 {
+		t.Fatalf("warm search re-evaluated %d points", second.Evals)
+	}
+	if second.CacheHit == 0 {
+		t.Fatal("warm search reported no cache hits")
+	}
+	if second.X[0] != first.X[0] || second.Result.Cost != first.Result.Cost {
+		t.Fatalf("warm search diverged: %v vs %v", second, first)
+	}
+}
+
+func TestPointKeyQuantizes(t *testing.T) {
+	a := PointKey([]float64{1.000001, 2})
+	b := PointKey([]float64{1.0000012, 2})
+	if a != b {
+		t.Fatalf("keys differ below quantization: %q vs %q", a, b)
+	}
+	c := PointKey([]float64{1.1, 2})
+	if a == c {
+		t.Fatal("distinct points share a key")
+	}
+}

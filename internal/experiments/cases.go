@@ -183,41 +183,33 @@ func Case4(fid Fidelity) caseDef {
 	}
 }
 
-// RunCase1 .. RunCase4 execute the cases at the given fidelity.
-// Progress, when non-nil, receives (model, point) as tuning lands.
+// RunCase1 .. RunCase4 execute the cases at the given fidelity through
+// the runner subsystem with default execution options (GOMAXPROCS
+// workers, in-memory cache, no checkpointing). Progress, when non-nil,
+// receives (model, point) as tuning lands. Use RunCaseSpec for worker
+// count, disk caching, and checkpoint/resume control.
 
 // RunCase1 measures Figure 2.
 func RunCase1(fid Fidelity, seed int64, progress func(string, scale.Point)) (*Result, error) {
-	return runCase(Case1(fid), fid, seed, progress)
+	return RunCaseSpec(1, RunSpec{Fidelity: fid, Seed: seed, Progress: progress})
 }
 
 // RunCase2 measures Figure 3.
 func RunCase2(fid Fidelity, seed int64, progress func(string, scale.Point)) (*Result, error) {
-	return runCase(Case2(fid), fid, seed, progress)
+	return RunCaseSpec(2, RunSpec{Fidelity: fid, Seed: seed, Progress: progress})
 }
 
 // RunCase3 measures Figures 4, 6 and 7.
 func RunCase3(fid Fidelity, seed int64, progress func(string, scale.Point)) (*Result, error) {
-	return runCase(Case3(fid), fid, seed, progress)
+	return RunCaseSpec(3, RunSpec{Fidelity: fid, Seed: seed, Progress: progress})
 }
 
 // RunCase4 measures Figure 5.
 func RunCase4(fid Fidelity, seed int64, progress func(string, scale.Point)) (*Result, error) {
-	return runCase(Case4(fid), fid, seed, progress)
+	return RunCaseSpec(4, RunSpec{Fidelity: fid, Seed: seed, Progress: progress})
 }
 
-// RunAll executes all four cases.
+// RunAll executes all four cases on one shared pool.
 func RunAll(fid Fidelity, seed int64, progress func(string, scale.Point)) ([]*Result, error) {
-	runs := []func(Fidelity, int64, func(string, scale.Point)) (*Result, error){
-		RunCase1, RunCase2, RunCase3, RunCase4,
-	}
-	var out []*Result
-	for _, run := range runs {
-		r, err := run(fid, seed, progress)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return RunAllSpec(RunSpec{Fidelity: fid, Seed: seed, Progress: progress})
 }

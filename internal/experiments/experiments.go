@@ -15,13 +15,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"rmscale/internal/anneal"
 	"rmscale/internal/grid"
 	"rmscale/internal/rms"
+	"rmscale/internal/runner"
 	"rmscale/internal/scale"
 	"rmscale/internal/stats"
 )
@@ -176,88 +176,85 @@ type caseDef struct {
 	config func(fid Fidelity, seed int64, k int, x []float64) grid.Config
 }
 
-// runCase measures every model over the case definition, fanning models
-// out over a bounded worker pool.
-func runCase(def caseDef, fid Fidelity, seed int64, progress func(string, scale.Point)) (*Result, error) {
-	res := &Result{
-		Case:         def.id,
-		Title:        def.title,
-		Fidelity:     fid,
-		Measurements: make(map[string]*scale.Measurement),
-		Order:        rms.Names(),
-	}
-	cache := grid.NewSubstrateCache()
+// simResult is the cached outcome of one engine run: the summary plus
+// the event-budget flag the evaluator checks. It is the payload stored
+// under the runner's content-addressed key.
+type simResult struct {
+	Sum        grid.Summary
+	Overflowed bool
+}
 
-	type item struct {
-		name string
-		m    *scale.Measurement
-		err  error
+// simulate runs one engine for cfg under the model p, memoized through
+// the run's content-addressed cache: the key is a canonical hash of
+// (fidelity, model, full grid config), and the config embeds the seed
+// and the applied enabler vector, so a cache hit is exactly a re-run.
+func simulate(run *runner.Run, substrates *grid.SubstrateCache, fid Fidelity,
+	p grid.Policy, cfg grid.Config) (simResult, error) {
+
+	key, err := runner.KeyOf("sim/v1", fid.String(), p.Name(), cfg)
+	if err != nil {
+		return simResult{}, err
 	}
-	models := rms.All()
-	out := make(chan item, len(models))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(models) {
-		workers = len(models)
-	}
-	work := make(chan grid.Policy)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for p := range work {
-				m, err := measureModel(def, fid, seed, p, cache, progress)
-				out <- item{name: p.Name(), m: m, err: err}
-			}
-		}()
-	}
-	for _, p := range models {
-		work <- p
-	}
-	close(work)
-	wg.Wait()
-	close(out)
-	for it := range out {
-		if it.err != nil {
-			return nil, fmt.Errorf("experiments: case %d, model %s: %w", def.id, it.name, it.err)
+	if b, ok := run.Cache.Get(key); ok {
+		var sr simResult
+		if err := decodeCached(b, &sr); err == nil {
+			return sr, nil
 		}
-		res.Measurements[it.name] = it.m
+		// A corrupt payload falls through to recompute and overwrite.
 	}
-	return res, nil
+	// The substrate cache key uses the post-collapse spec, so apply
+	// the engine's collapse rule before the lookup.
+	lookup := cfg
+	if p.Central() {
+		lookup.Spec.ClusterSize = lookup.Spec.Clusters * lookup.Spec.ClusterSize
+		lookup.Spec.Clusters = 1
+		lookup.Workload.Clusters = 1
+	}
+	sub, err := substrates.Get(lookup)
+	if err != nil {
+		return simResult{}, err
+	}
+	fresh, err := rms.ByName(p.Name()) // engines are single-use; state must be fresh
+	if err != nil {
+		return simResult{}, err
+	}
+	e, err := grid.NewWith(cfg, fresh, sub)
+	if err != nil {
+		return simResult{}, err
+	}
+	sr := simResult{Sum: e.Run(), Overflowed: e.K.Overflowed}
+	if b, err := encodeCached(sr); err == nil {
+		if err := run.Cache.Put(key, b); err != nil {
+			return simResult{}, err
+		}
+	}
+	return sr, nil
 }
 
 // measureModel runs the scalability measurement procedure for a single
-// model over the case definition.
-func measureModel(def caseDef, fid Fidelity, seed int64, p grid.Policy,
-	cache *grid.SubstrateCache, progress func(string, scale.Point)) (*scale.Measurement, error) {
+// model over the case definition: the per-(model, k) tuning chain that
+// is one job of the runner's pool. Completed points are journaled as
+// they land, and journaled points from an interrupted prior run are
+// adopted without re-tuning.
+func measureModel(ctx context.Context, run *runner.Run, def caseDef, fid Fidelity,
+	seed int64, p grid.Policy, substrates *grid.SubstrateCache,
+	progress func(string, scale.Point)) (*scale.Measurement, error) {
 
+	name := p.Name()
 	replicas := fid.replicas()
 	ev := scale.EvaluatorFunc(func(k int, x []float64) (scale.Observation, error) {
+		if err := ctx.Err(); err != nil {
+			return scale.Observation{}, err
+		}
 		var acc scale.Observation
 		for r := 0; r < replicas; r++ {
 			cfg := def.config(fid, seed+int64(r)*101, k, x)
-			// The substrate cache key uses the post-collapse spec, so
-			// apply the engine's collapse rule before the lookup.
-			lookup := cfg
-			if p.Central() {
-				lookup.Spec.ClusterSize = lookup.Spec.Clusters * lookup.Spec.ClusterSize
-				lookup.Spec.Clusters = 1
-				lookup.Workload.Clusters = 1
-			}
-			sub, err := cache.Get(lookup)
+			sr, err := simulate(run, substrates, fid, p, cfg)
 			if err != nil {
 				return scale.Observation{}, err
 			}
-			fresh, err := rms.ByName(p.Name()) // engines are single-use; state must be fresh
-			if err != nil {
-				return scale.Observation{}, err
-			}
-			e, err := grid.NewWith(cfg, fresh, sub)
-			if err != nil {
-				return scale.Observation{}, err
-			}
-			sum := e.Run()
-			if e.K.Overflowed {
+			sum := sr.Sum
+			if sr.Overflowed {
 				return scale.Observation{}, fmt.Errorf("event budget exceeded at k=%d", k)
 			}
 			acc.F += sum.F
@@ -291,16 +288,62 @@ func measureModel(def caseDef, fid Fidelity, seed int64, p grid.Policy,
 	opts := fid.tuning()
 	opts.Seed = seed
 	spec := scale.MeasureSpec{
-		RMS:       p.Name(),
+		RMS:       name,
 		Ks:        fid.ks(),
 		Enablers:  def.enablers,
 		Band:      scale.PaperBand(),
 		Anneal:    opts,
 		WarmStart: true,
 	}
-	if progress != nil {
-		name := p.Name()
-		spec.Progress = func(pt scale.Point) { progress(name, pt) }
+	jid := func(k int) string { return pointID(def.id, name, k) }
+	spec.EvalCache = func(k int) anneal.EvalCache {
+		return &annealCache{
+			cache: run.Cache,
+			scope: fmt.Sprintf("case=%d|fid=%s|seed=%d|rms=%s|k=%d", def.id, fid, seed, name, k),
+		}
 	}
-	return scale.Measure(ev, spec)
+
+	// Adopt the journaled prefix of the k-chain, if any.
+	var journalErr error
+	if run.Journal != nil {
+		for _, k := range spec.Ks {
+			var pt scale.Point
+			ok, err := run.Journal.Lookup(jid(k), &pt)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			spec.Resume = append(spec.Resume, pt)
+		}
+		if len(spec.Resume) == len(spec.Ks) {
+			run.Report.JobResumed()
+		}
+	}
+	spec.Progress = func(pt scale.Point) {
+		if run.Journal != nil {
+			if err := run.Journal.Record(jid(pt.K), pt); err != nil && journalErr == nil {
+				journalErr = err
+			}
+		}
+		run.Report.PointDone()
+		if progress != nil {
+			progress(name, pt)
+		}
+	}
+
+	m, err := scale.Measure(ev, spec)
+	if err != nil {
+		return nil, err
+	}
+	if journalErr != nil {
+		return nil, journalErr
+	}
+	return m, nil
+}
+
+// pointID is the journal ID of one completed (case, model, k) point.
+func pointID(caseID int, rms string, k int) string {
+	return fmt.Sprintf("case%d/%s/k=%d", caseID, rms, k)
 }

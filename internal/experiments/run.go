@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"rmscale/internal/anneal"
+	"rmscale/internal/grid"
+	"rmscale/internal/rms"
+	"rmscale/internal/runner"
+	"rmscale/internal/scale"
+)
+
+// RunSpec configures experiment execution through the runner
+// subsystem. The zero values of the execution fields reproduce the
+// legacy behaviour: GOMAXPROCS workers, in-memory caching only, no
+// checkpointing.
+type RunSpec struct {
+	// Fidelity selects the runtime budget.
+	Fidelity Fidelity
+	// Seed is the master random seed; results are deterministic in it
+	// regardless of Workers or cache warmth.
+	Seed int64
+	// Workers sizes the work-stealing pool; <= 0 picks GOMAXPROCS.
+	Workers int
+	// Dir, when non-empty, is the run directory: completed (model, k)
+	// points are journaled there, simulation results are cached on
+	// disk, runstate.json tracks progress, and a rerun with the same
+	// Fidelity and Seed resumes from whatever the journal holds.
+	Dir string
+	// Progress, when non-nil, receives each tuned (model, point) as it
+	// lands (including points adopted from a resumed journal).
+	Progress func(string, scale.Point)
+	// Log, when non-nil, receives the runner's per-job progress lines.
+	Log io.Writer
+	// Context cancels the run early; nil means Background.
+	Context context.Context
+}
+
+// fingerprint identifies the run parameters a journal is only allowed
+// to resume into.
+func (s RunSpec) fingerprint() string {
+	return fmt.Sprintf("rmscale/v1 fid=%s seed=%d", s.Fidelity, s.Seed)
+}
+
+// caseByID maps a case number to its definition.
+func caseByID(id int, fid Fidelity) (caseDef, error) {
+	switch id {
+	case 1:
+		return Case1(fid), nil
+	case 2:
+		return Case2(fid), nil
+	case 3:
+		return Case3(fid), nil
+	case 4:
+		return Case4(fid), nil
+	}
+	return caseDef{}, fmt.Errorf("experiments: unknown case %d", id)
+}
+
+// RunCaseSpec executes one experiment case under the spec.
+func RunCaseSpec(id int, spec RunSpec) (*Result, error) {
+	rs, err := RunCasesSpec([]int{id}, spec)
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// RunAllSpec executes all four cases in one runner pool, so the cases'
+// 4 x 7 model jobs shard across the workers together instead of
+// draining case by case.
+func RunAllSpec(spec RunSpec) ([]*Result, error) {
+	return RunCasesSpec([]int{1, 2, 3, 4}, spec)
+}
+
+// RunCasesSpec executes the given cases on a shared work-stealing
+// pool. Each case submits one parent task that spawns a tuning task
+// per RMS model onto the submitting worker's deque; sibling workers
+// steal the models as they go idle.
+func RunCasesSpec(ids []int, spec RunSpec) ([]*Result, error) {
+	defs := make([]caseDef, len(ids))
+	for i, id := range ids {
+		def, err := caseByID(id, spec.Fidelity)
+		if err != nil {
+			return nil, err
+		}
+		defs[i] = def
+	}
+	run, err := runner.Start(runner.Options{
+		Workers:     spec.Workers,
+		Dir:         spec.Dir,
+		Fingerprint: spec.fingerprint(),
+		Log:         spec.Log,
+		Context:     spec.Context,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	models := rms.All()
+	run.Report.AddTotal(len(defs) * (1 + len(models)))
+	results := make([]*Result, len(defs))
+	var mu sync.Mutex
+	for i, def := range defs {
+		i, def := i, def
+		results[i] = &Result{
+			Case:         def.id,
+			Title:        def.title,
+			Fidelity:     spec.Fidelity,
+			Measurements: make(map[string]*scale.Measurement),
+			Order:        rms.Names(),
+		}
+		// One substrate cache per case: models at the same (k, x)
+		// share the expensive topology+routing build.
+		substrates := grid.NewSubstrateCache()
+		run.Pool.Submit(runner.Task{
+			ID: fmt.Sprintf("case%d", def.id),
+			Run: func(tc *runner.TaskCtx) error {
+				for _, p := range rms.All() {
+					p := p
+					tc.Spawn(runner.Task{
+						ID: fmt.Sprintf("case%d/%s", def.id, p.Name()),
+						Run: func(tc *runner.TaskCtx) error {
+							m, err := measureModel(tc, run, def, spec.Fidelity,
+								spec.Seed, p, substrates, spec.Progress)
+							if err != nil {
+								return fmt.Errorf("experiments: case %d, model %s: %w",
+									def.id, p.Name(), err)
+							}
+							mu.Lock()
+							results[i].Measurements[p.Name()] = m
+							mu.Unlock()
+							return nil
+						},
+					})
+				}
+				return nil
+			},
+		})
+	}
+	if err := run.Wait(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// encodeCached and decodeCached fix the cache payload codec. JSON
+// round-trips float64 exactly (shortest representation that parses
+// back to the same bits), which is what lets a cache hit be
+// byte-identical to a fresh simulation.
+func encodeCached(v any) ([]byte, error) { return json.Marshal(v) }
+
+func decodeCached(b []byte, v any) error { return json.Unmarshal(b, v) }
+
+// annealEntry is the persisted form of one tuner evaluation.
+type annealEntry struct {
+	Cost     float64
+	Penalty  float64
+	Feasible bool
+	Obs      scale.Observation
+}
+
+// annealCache adapts the runner's content-addressed store to the
+// annealer's EvalCache hook. The scope string carries everything that
+// determines the objective besides the candidate point itself (case,
+// fidelity, seed, model, k); the annealer's quantized point key
+// completes the address. Error sentinels (whose Aux is not an
+// Observation) are never stored, so a transient failure cannot poison
+// the cache.
+type annealCache struct {
+	cache *runner.Cache
+	scope string
+}
+
+func (c *annealCache) key(pointKey string) (runner.Key, error) {
+	return runner.KeyOf("anneal/v1", c.scope, pointKey)
+}
+
+// Get implements anneal.EvalCache.
+func (c *annealCache) Get(pointKey string) (anneal.Result, bool) {
+	k, err := c.key(pointKey)
+	if err != nil {
+		return anneal.Result{}, false
+	}
+	b, ok := c.cache.Get(k)
+	if !ok {
+		return anneal.Result{}, false
+	}
+	var e annealEntry
+	if err := decodeCached(b, &e); err != nil {
+		return anneal.Result{}, false
+	}
+	return anneal.Result{Cost: e.Cost, Penalty: e.Penalty, Feasible: e.Feasible, Aux: e.Obs}, true
+}
+
+// Put implements anneal.EvalCache.
+func (c *annealCache) Put(pointKey string, r anneal.Result) {
+	obs, ok := r.Aux.(scale.Observation)
+	if !ok {
+		return
+	}
+	k, err := c.key(pointKey)
+	if err != nil {
+		return
+	}
+	b, err := encodeCached(annealEntry{Cost: r.Cost, Penalty: r.Penalty, Feasible: r.Feasible, Obs: obs})
+	if err != nil {
+		return
+	}
+	_ = c.cache.Put(k, b)
+}

@@ -1,0 +1,195 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// journalName is the journal file inside a run directory.
+const journalName = "journal.jsonl"
+
+// journalVersion guards the on-disk format.
+const journalVersion = 1
+
+// Journal is the checkpoint log of a run: an append-only JSON-lines
+// file in which every completed unit of work is recorded under a
+// stable ID. Each record is written with a single append write, so an
+// interrupted run leaves at most one truncated final line, which the
+// loader discards; everything before it survives and seeds the resumed
+// run.
+//
+// The first line is a header carrying a fingerprint of the run
+// parameters (fidelity, seed, ...). Resuming with a different
+// fingerprint is refused: a journal only ever replays into the exact
+// run shape that wrote it.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]json.RawMessage
+}
+
+type journalHeader struct {
+	Header struct {
+		Version     int    `json:"version"`
+		Fingerprint string `json:"fingerprint"`
+	} `json:"header"`
+}
+
+type journalRecord struct {
+	ID   string          `json:"id"`
+	Data json.RawMessage `json:"data"`
+}
+
+// OpenJournal opens (or creates) the journal in dir. When a journal
+// with a matching fingerprint already exists its records are loaded
+// and resumed reports true; a fingerprint or version mismatch is an
+// error so stale checkpoints cannot silently corrupt a run.
+func OpenJournal(dir, fingerprint string) (j *Journal, resumed bool, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, false, fmt.Errorf("runner: run dir: %w", err)
+	}
+	path := filepath.Join(dir, journalName)
+	entries := make(map[string]json.RawMessage)
+	if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+		hdr, recs, err := parseJournal(b)
+		if err != nil {
+			return nil, false, err
+		}
+		if hdr.Header.Version != journalVersion {
+			return nil, false, fmt.Errorf("runner: journal %s has version %d, want %d",
+				path, hdr.Header.Version, journalVersion)
+		}
+		if hdr.Header.Fingerprint != fingerprint {
+			return nil, false, fmt.Errorf("runner: journal %s was written by a different run "+
+				"(journal %q, this run %q); pass a fresh -resume directory or rerun with the "+
+				"original parameters", path, hdr.Header.Fingerprint, fingerprint)
+		}
+		entries = recs
+		resumed = true
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, false, fmt.Errorf("runner: journal: %w", err)
+	}
+	j = &Journal{f: f, entries: entries}
+	if !resumed {
+		var hdr journalHeader
+		hdr.Header.Version = journalVersion
+		hdr.Header.Fingerprint = fingerprint
+		if err := j.appendLine(hdr); err != nil {
+			f.Close()
+			return nil, false, err
+		}
+	}
+	return j, resumed, nil
+}
+
+// parseJournal splits the file into header and records, tolerating a
+// truncated final line (the signature of a killed writer).
+func parseJournal(b []byte) (journalHeader, map[string]json.RawMessage, error) {
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var hdr journalHeader
+	recs := make(map[string]json.RawMessage)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			if err := json.Unmarshal(line, &hdr); err != nil || hdr.Header.Version == 0 {
+				return hdr, nil, fmt.Errorf("runner: journal has no valid header line")
+			}
+			first = false
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.ID == "" {
+			// A partial trailing line from an interrupted append; the
+			// record was not durably committed, so drop it.
+			continue
+		}
+		recs[rec.ID] = rec.Data
+	}
+	if first {
+		return hdr, nil, fmt.Errorf("runner: journal has no valid header line")
+	}
+	return hdr, recs, nil
+}
+
+// appendLine writes one JSON line with a single write followed by an
+// fsync, which is what makes each record an atomic commit point.
+func (j *Journal) appendLine(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runner: journal encode: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("runner: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("runner: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Record journals v as the completion of the work unit id. Recording an
+// id that is already journaled is a no-op, which makes checkpointing
+// idempotent across resumed runs.
+func (j *Journal) Record(id string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runner: journal encode %s: %w", id, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.entries[id]; ok {
+		return nil
+	}
+	if err := j.appendLine(journalRecord{ID: id, Data: data}); err != nil {
+		return err
+	}
+	j.entries[id] = data
+	return nil
+}
+
+// Lookup decodes the journaled payload for id into out, reporting
+// whether id was found.
+func (j *Journal) Lookup(id string, out any) (bool, error) {
+	j.mu.Lock()
+	data, ok := j.entries[id]
+	j.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return false, fmt.Errorf("runner: journal decode %s: %w", id, err)
+	}
+	return true, nil
+}
+
+// Len reports how many completed work units the journal holds.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Close releases the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,153 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type fakePoint struct {
+	K        int
+	G        float64
+	Enablers []float64
+}
+
+func TestJournalRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	j, resumed, err := OpenJournal(dir, "fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed {
+		t.Fatal("fresh journal reported resumed")
+	}
+	want := fakePoint{K: 2, G: 10.5, Enablers: []float64{40, 8, 1}}
+	if err := j.Record("case1/CENTRAL/k=2", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, resumed, err := OpenJournal(dir, "fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !resumed {
+		t.Fatal("existing journal not resumed")
+	}
+	var got fakePoint
+	ok, err := j2.Lookup("case1/CENTRAL/k=2", &got)
+	if err != nil || !ok {
+		t.Fatalf("lookup: %v, %v", ok, err)
+	}
+	if got.K != want.K || got.G != want.G || len(got.Enablers) != 3 {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if ok, _ := j2.Lookup("missing", &got); ok {
+		t.Fatal("lookup of missing id succeeded")
+	}
+}
+
+func TestJournalFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir, "fid=smoke seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, _, err := OpenJournal(dir, "fid=smoke seed=2"); err == nil {
+		t.Fatal("journal resumed under a different fingerprint")
+	} else if !strings.Contains(err.Error(), "different run") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// TestJournalTruncatedTail simulates a writer killed mid-append: the
+// partial final line must be dropped while every committed record
+// survives, and the journal must accept new records afterwards.
+func TestJournalTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := j.Record(pointName(i), fakePoint{K: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	path := filepath.Join(dir, journalName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file mid-way through the last record's line.
+	cut := len(b) - 10
+	if err := os.WriteFile(path, b[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, resumed, err := OpenJournal(dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !resumed {
+		t.Fatal("truncated journal not resumed")
+	}
+	if j2.Len() != 2 {
+		t.Fatalf("journal holds %d records after truncation, want 2", j2.Len())
+	}
+	var p fakePoint
+	if ok, _ := j2.Lookup(pointName(3), &p); ok {
+		t.Fatal("truncated record resurrected")
+	}
+	if err := j2.Record(pointName(3), fakePoint{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := j2.Lookup(pointName(3), &p); !ok || p.K != 3 {
+		t.Fatalf("re-recorded point missing: %+v, %v", p, ok)
+	}
+}
+
+func TestJournalRecordIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Record("id", fakePoint{K: 1, G: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("id", fakePoint{K: 1, G: 999}); err != nil {
+		t.Fatal(err)
+	}
+	var p fakePoint
+	if ok, _ := j.Lookup("id", &p); !ok || p.G != 1 {
+		t.Fatalf("re-record overwrote the committed value: %+v", p)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("duplicate record changed length: %d", j.Len())
+	}
+}
+
+func TestJournalRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, journalName)
+	if err := os.WriteFile(path, []byte("not json at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(dir, "fp"); err == nil {
+		t.Fatal("garbage journal accepted")
+	}
+}
+
+func pointName(i int) string {
+	return "case1/LOWEST/k=" + string(rune('0'+i))
+}

@@ -41,8 +41,21 @@ type MeasureSpec struct {
 	// PenaltyWeight converts band violations into annealing energy;
 	// zero picks a weight that dominates typical overhead magnitudes.
 	PenaltyWeight float64
-	// Progress, when non-nil, receives each tuned point as it lands.
+	// Progress, when non-nil, receives each tuned point as it lands —
+	// including points adopted from Resume, so a resumed run logs the
+	// same sequence as the original.
 	Progress func(Point)
+	// Resume seeds the measurement with previously tuned points, e.g.
+	// from a checkpoint journal. The points must align with the
+	// leading scale factors of Ks; they are adopted verbatim without
+	// re-tuning and warm-starting continues from the last adopted
+	// point, so a resumed measurement is byte-identical to an
+	// uninterrupted one.
+	Resume []Point
+	// EvalCache, when non-nil, supplies the tuner's evaluation memo at
+	// each scale factor (the runner's persistent content-addressed
+	// cache), replacing the annealer's private per-search map.
+	EvalCache func(k int) anneal.EvalCache
 }
 
 // Validate reports the first specification error.
@@ -62,6 +75,14 @@ func (s MeasureSpec) Validate() error {
 	}
 	if len(s.Enablers) == 0 {
 		return fmt.Errorf("scale: no enablers to tune")
+	}
+	if len(s.Resume) > len(s.Ks) {
+		return fmt.Errorf("scale: %d resume points for %d scale factors", len(s.Resume), len(s.Ks))
+	}
+	for i, p := range s.Resume {
+		if p.K != s.Ks[i] {
+			return fmt.Errorf("scale: resume point %d has k=%d, want k=%d", i, p.K, s.Ks[i])
+		}
 	}
 	for _, e := range s.Enablers {
 		if err := e.Validate(); err != nil {
@@ -90,7 +111,20 @@ func Measure(ev Evaluator, spec MeasureSpec) (*Measurement, error) {
 		start[i] = e.Init
 	}
 
-	for _, k := range spec.Ks {
+	for i, k := range spec.Ks {
+		if i < len(spec.Resume) {
+			// Adopt the checkpointed point without re-tuning; the
+			// warm-start chain continues from its tuned enablers.
+			p := spec.Resume[i]
+			m.Points = append(m.Points, p)
+			if spec.Progress != nil {
+				spec.Progress(p)
+			}
+			if spec.WarmStart {
+				start = append([]float64(nil), p.Enablers...)
+			}
+			continue
+		}
 		k := k
 		var evalErr error
 		obj := func(x []float64) anneal.Result {
@@ -125,6 +159,9 @@ func Measure(ev Evaluator, spec MeasureSpec) (*Measurement, error) {
 		default:
 			o := spec.Anneal
 			o.Seed = spec.Anneal.Seed + int64(k)*7919
+			if spec.EvalCache != nil {
+				o.Cache = spec.EvalCache(k)
+			}
 			out, err = anneal.Minimize(dims, start, obj, o)
 		}
 		if err != nil {
