@@ -113,6 +113,8 @@ type (
 	Fidelity = experiments.Fidelity
 	// CaseResult is the outcome of one experiment case.
 	CaseResult = experiments.Result
+	// ChurnResult pairs a case's fault-free and degraded measurements.
+	ChurnResult = experiments.ChurnResult
 )
 
 // Execution layer (the runner subsystem): parallel, cached,
@@ -135,6 +137,18 @@ func RunCaseSpec(id int, spec RunSpec) (*CaseResult, error) {
 // RunAllSpec runs all four cases on one shared work-stealing pool.
 func RunAllSpec(spec RunSpec) ([]*CaseResult, error) {
 	return experiments.RunAllSpec(spec)
+}
+
+// ChurnFaults returns the fixed fault load of the degraded-mode
+// experiment: scheduler and estimator crash/repair cycles, protocol
+// message loss and access-link outages with timeout/retry armed.
+func ChurnFaults() FaultModel { return experiments.ChurnFaults() }
+
+// RunChurnSpec runs one case fault-free and again under the fault
+// load, re-tuning the scaling enablers per model in both, and returns
+// the paired measurements for the scalability-under-churn comparison.
+func RunChurnSpec(id int, fm FaultModel, spec RunSpec) (*ChurnResult, error) {
+	return experiments.RunChurnSpec(id, fm, spec)
 }
 
 // WriteFileAtomic writes data to path via a same-directory temp file

@@ -28,6 +28,17 @@
 //	                             fidelity/seed from what it holds
 //	-v                           log tuning progress per (model, k) and
 //	                             runner job progress
+//	-faults                      degraded mode: re-run the case under a
+//	                             fixed RMS fault load (scheduler and
+//	                             estimator crashes, message loss, link
+//	                             outages) and emit the scalability-
+//	                             under-churn comparison
+//	-mtbf F                      with -faults: also crash resources with
+//	                             this mean time between failures, 0=off
+//	-repair F                    with -faults: resource repair time
+//	                             (default 200)
+//	-loss F                      with -faults: status update loss
+//	                             probability
 //
 // Results are deterministic in -seed: serial, parallel and
 // cache-warm/resumed executions of the same case produce identical
@@ -62,11 +73,18 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("j", 0, "worker-pool size; 0 picks GOMAXPROCS")
 	resumeDir := fs.String("resume", "", "checkpoint directory for journaling, disk caching and resuming")
 	verbose := fs.Bool("v", false, "log tuning progress")
+	faults := fs.Bool("faults", false, "degraded mode: re-run the case under the churn fault load")
+	mtbf := fs.Float64("mtbf", 0, "with -faults: resource mean time between failures (0 disables)")
+	repair := fs.Float64("repair", 200, "with -faults: resource repair time")
+	loss := fs.Float64("loss", 0, "with -faults: status update loss probability")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers < 0 {
 		return fmt.Errorf("-j must be >= 0, got %d", *workers)
+	}
+	if (*mtbf != 0 || *loss != 0) && !*faults {
+		return fmt.Errorf("-mtbf and -loss need -faults: they extend the degraded-mode fault load")
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need exactly one command: case1, case2, case3, case4, all or tables")
@@ -157,14 +175,57 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
+	// The degraded-mode fault load: the fixed churn preset, optionally
+	// extended with gridsim's resource-level faults.
+	churnModel := rmscale.ChurnFaults()
+	churnModel.ResourceMTBF = *mtbf
+	churnModel.RepairTime = *repair
+	churnModel.UpdateLossProb = *loss
+	emitChurn := func(r *rmscale.ChurnResult) error {
+		fig, err := r.PsiFigure()
+		if err != nil {
+			return err
+		}
+		if err := emit(fig); err != nil {
+			return err
+		}
+		tbl, err := r.Table()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprint(out, tbl)
+		return err
+	}
+
 	switch cmd {
 	case "case1", "case2", "case3", "case4":
-		r, err := rmscale.RunCaseSpec(int(cmd[4]-'0'), spec)
+		id := int(cmd[4] - '0')
+		if *faults {
+			r, err := rmscale.RunChurnSpec(id, churnModel, spec)
+			if err != nil {
+				return err
+			}
+			return emitChurn(r)
+		}
+		r, err := rmscale.RunCaseSpec(id, spec)
 		if err != nil {
 			return err
 		}
 		return emitCase(r)
 	case "all":
+		if *faults {
+			for id := 1; id <= 4; id++ {
+				r, err := rmscale.RunChurnSpec(id, churnModel, spec)
+				if err != nil {
+					return err
+				}
+				if err := emitChurn(r); err != nil {
+					return err
+				}
+				fmt.Fprintln(out)
+			}
+			return nil
+		}
 		rs, err := rmscale.RunAllSpec(spec)
 		if err != nil {
 			return err

@@ -154,6 +154,70 @@ func TestWorkerAndResumeFlagParsing(t *testing.T) {
 	}
 }
 
+// TestGoldenFaultFreeOutput pins the smoke output of case 1 and case 4
+// against goldens captured before the fault-tolerance layer existed:
+// with a zero-valued FaultModel the experiment tables must stay
+// byte-identical — the fault machinery may only change runs that
+// actually arm it.
+func TestGoldenFaultFreeOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case run is slow")
+	}
+	for _, c := range []string{"case1", "case4"} {
+		c := c
+		t.Run(c, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", c+"_smoke_seed1.golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := run([]string{"-fidelity", "smoke", "-seed", "1", "-format", "csv", c}, &buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("fault-free %s output diverged from the pre-fault golden:\n--- got ---\n%s\n--- want ---\n%s",
+					c, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestChurnCommand runs the degraded-mode experiment at smoke fidelity
+// and checks the churn table renders a row for all seven models.
+func TestChurnCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn run is slow (two full case runs)")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-fidelity", "smoke", "-faults", "case4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Scalability under churn") {
+		t.Fatalf("churn output missing title:\n%s", out)
+	}
+	for _, model := range rmscale.ModelNames() {
+		if !strings.Contains(out, model+"*") {
+			t.Errorf("churn psi figure missing degraded series for %s", model)
+		}
+	}
+	if !strings.Contains(out, "psi*(k)") || !strings.Contains(out, "retry*") {
+		t.Fatalf("churn comparison table missing:\n%s", out)
+	}
+}
+
+// TestFaultFlagValidation: the gridsim-parity fault knobs only make
+// sense as extensions of the degraded-mode fault load.
+func TestFaultFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mtbf", "500", "tables"}, &buf); err == nil {
+		t.Error("-mtbf without -faults accepted")
+	}
+	if err := run([]string{"-loss", "0.1", "tables"}, &buf); err == nil {
+		t.Error("-loss without -faults accepted")
+	}
+}
+
 // TestSmokeResume runs a case into a checkpoint directory, then reruns
 // with -resume and checks the second pass adopts the journal and emits
 // byte-identical output.

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rmscale/internal/grid"
+)
+
+func TestChurnFaultsValidates(t *testing.T) {
+	fm := ChurnFaults()
+	if err := fm.Validate(); err != nil {
+		t.Fatalf("churn preset invalid: %v", err)
+	}
+	if !fm.Enabled() {
+		t.Fatal("churn preset reports disabled")
+	}
+}
+
+func TestRunChurnRejectsZeroFaultModel(t *testing.T) {
+	if _, err := RunChurnSpec(1, grid.FaultModel{}, RunSpec{Fidelity: Smoke, Seed: 1}); err == nil {
+		t.Fatal("zero fault model accepted: the degraded run would equal the baseline")
+	}
+}
+
+// TestRunChurnSmoke runs the degraded-mode experiment for case 4 at
+// smoke fidelity: both the fault-free and the degraded measurement
+// must cover all seven models, the fault load must actually bite
+// (nonzero crash/retry accounting somewhere in the degraded points),
+// and the baseline must stay spotless.
+func TestRunChurnSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn run is slow (two full case runs)")
+	}
+	r, err := RunChurnSpec(4, ChurnFaults(), RunSpec{Fidelity: Smoke, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r.Baseline, 7)
+	checkResult(t, r.Degraded, 7)
+	if r.Baseline.Variant != "" || r.Degraded.Variant != "churn" {
+		t.Fatalf("variants mislabeled: %q / %q", r.Baseline.Variant, r.Degraded.Variant)
+	}
+	var crashes, retries float64
+	for name, m := range r.Degraded.Measurements {
+		for _, p := range m.Points {
+			crashes += p.Obs.Crashes
+			retries += p.Obs.Retries
+		}
+		t.Logf("%-8s degraded g(k)=%v", name, m.NormalizedG())
+	}
+	if crashes == 0 {
+		t.Error("fault load armed but no degraded point recorded a crash")
+	}
+	if retries == 0 {
+		t.Error("fault load armed but no degraded point recorded a retry")
+	}
+	for name, m := range r.Baseline.Measurements {
+		for _, p := range m.Points {
+			if p.Obs.Crashes != 0 || p.Obs.MsgsLost != 0 || p.Obs.JobsLost != 0 {
+				t.Errorf("%s: fault accounting leaked into the fault-free baseline: %+v", name, p.Obs)
+			}
+		}
+	}
+
+	fig, err := r.PsiFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 models x (fault-free + degraded) series.
+	if len(fig.Series) != 14 {
+		t.Fatalf("psi figure has %d series, want 14", len(fig.Series))
+	}
+	tbl, err := r.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range r.Baseline.Order {
+		if !strings.Contains(tbl, name) {
+			t.Errorf("churn table missing model %s:\n%s", name, tbl)
+		}
+	}
+}

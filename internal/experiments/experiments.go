@@ -102,6 +102,7 @@ func (f Fidelity) ks() []int {
 type Result struct {
 	Case     int
 	Title    string
+	Variant  string // "" for the plain case; "churn" under the fault load
 	Fidelity Fidelity
 	// Measurements maps model name to its tuned G(k) measurement.
 	Measurements map[string]*scale.Measurement
@@ -171,9 +172,22 @@ type caseDef struct {
 	id       int
 	title    string
 	enablers []scale.Enabler
+	// variant distinguishes re-runs of the same case under modified
+	// conditions (e.g. "churn" for the degraded-mode experiment). It is
+	// folded into journal IDs and cache scopes only when non-empty, so
+	// plain cases keep their original journal format.
+	variant string
 	// config builds the grid configuration at scale k with the
 	// enablers applied.
 	config func(fid Fidelity, seed int64, k int, x []float64) grid.Config
+}
+
+// name labels the case definition in runner task IDs.
+func (d caseDef) name() string {
+	if d.variant == "" {
+		return fmt.Sprintf("case%d", d.id)
+	}
+	return fmt.Sprintf("case%d+%s", d.id, d.variant)
 }
 
 // simResult is the cached outcome of one engine run: the summary plus
@@ -263,6 +277,11 @@ func measureModel(ctx context.Context, run *runner.Run, def caseDef, fid Fidelit
 			acc.Throughput += sum.Throughput
 			acc.MeanResponse += sum.MeanResponse
 			acc.SuccessRate += sum.SuccessRate
+			acc.JobsLost += float64(sum.JobsLost)
+			acc.Crashes += float64(sum.Crashes)
+			acc.MsgsLost += float64(sum.MsgsLost)
+			acc.Retries += float64(sum.Retries)
+			acc.Failovers += float64(sum.Failovers)
 			// A node is saturated when its busy fraction pins at 1 or
 			// its work queue built a backlog long enough to matter
 			// against job deadlines (runtimes are hundreds of units).
@@ -277,6 +296,11 @@ func measureModel(ctx context.Context, run *runner.Run, def caseDef, fid Fidelit
 		acc.Throughput /= n
 		acc.MeanResponse /= n
 		acc.SuccessRate /= n
+		acc.JobsLost /= n
+		acc.Crashes /= n
+		acc.MsgsLost /= n
+		acc.Retries /= n
+		acc.Failovers /= n
 		// Efficiency from the averaged accounting terms, not the
 		// average of ratios.
 		if total := acc.F + acc.G + acc.H; total > 0 {
@@ -295,12 +319,13 @@ func measureModel(ctx context.Context, run *runner.Run, def caseDef, fid Fidelit
 		Anneal:    opts,
 		WarmStart: true,
 	}
-	jid := func(k int) string { return pointID(def.id, name, k) }
+	jid := func(k int) string { return pointID(def, name, k) }
 	spec.EvalCache = func(k int) anneal.EvalCache {
-		return &annealCache{
-			cache: run.Cache,
-			scope: fmt.Sprintf("case=%d|fid=%s|seed=%d|rms=%s|k=%d", def.id, fid, seed, name, k),
+		scope := fmt.Sprintf("case=%d|fid=%s|seed=%d|rms=%s|k=%d", def.id, fid, seed, name, k)
+		if def.variant != "" {
+			scope += "|variant=" + def.variant
 		}
+		return &annealCache{cache: run.Cache, scope: scope}
 	}
 
 	// Adopt the journaled prefix of the k-chain, if any.
@@ -344,6 +369,8 @@ func measureModel(ctx context.Context, run *runner.Run, def caseDef, fid Fidelit
 }
 
 // pointID is the journal ID of one completed (case, model, k) point.
-func pointID(caseID int, rms string, k int) string {
-	return fmt.Sprintf("case%d/%s/k=%d", caseID, rms, k)
+// Variant-tagged definitions journal under a distinct prefix; plain
+// cases keep the original format, so old journals still resume.
+func pointID(def caseDef, rms string, k int) string {
+	return fmt.Sprintf("%s/%s/k=%d", def.name(), rms, k)
 }

@@ -90,12 +90,22 @@ func RunCasesSpec(ids []int, spec RunSpec) ([]*Result, error) {
 		}
 		defs[i] = def
 	}
+	return runDefs(defs, spec)
+}
+
+// runDefs executes arbitrary case definitions (including variant-tagged
+// ones, as the churn experiment submits) on one shared pool.
+func runDefs(defs []caseDef, spec RunSpec) ([]*Result, error) {
 	run, err := runner.Start(runner.Options{
 		Workers:     spec.Workers,
 		Dir:         spec.Dir,
 		Fingerprint: spec.fingerprint(),
 		Log:         spec.Log,
 		Context:     spec.Context,
+		// One bad (model, k) point must not void a long sweep: the
+		// remaining models finish (and journal, when Dir is set) and the
+		// failure comes back joined from Wait.
+		KeepGoing: true,
 	})
 	if err != nil {
 		return nil, err
@@ -110,6 +120,7 @@ func RunCasesSpec(ids []int, spec RunSpec) ([]*Result, error) {
 		results[i] = &Result{
 			Case:         def.id,
 			Title:        def.title,
+			Variant:      def.variant,
 			Fidelity:     spec.Fidelity,
 			Measurements: make(map[string]*scale.Measurement),
 			Order:        rms.Names(),
@@ -118,18 +129,18 @@ func RunCasesSpec(ids []int, spec RunSpec) ([]*Result, error) {
 		// share the expensive topology+routing build.
 		substrates := grid.NewSubstrateCache()
 		run.Pool.Submit(runner.Task{
-			ID: fmt.Sprintf("case%d", def.id),
+			ID: def.name(),
 			Run: func(tc *runner.TaskCtx) error {
 				for _, p := range rms.All() {
 					p := p
 					tc.Spawn(runner.Task{
-						ID: fmt.Sprintf("case%d/%s", def.id, p.Name()),
+						ID: fmt.Sprintf("%s/%s", def.name(), p.Name()),
 						Run: func(tc *runner.TaskCtx) error {
 							m, err := measureModel(tc, run, def, spec.Fidelity,
 								spec.Seed, p, substrates, spec.Progress)
 							if err != nil {
-								return fmt.Errorf("experiments: case %d, model %s: %w",
-									def.id, p.Name(), err)
+								return fmt.Errorf("experiments: %s, model %s: %w",
+									def.name(), p.Name(), err)
 							}
 							mu.Lock()
 							results[i].Measurements[p.Name()] = m

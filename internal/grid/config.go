@@ -11,6 +11,7 @@ package grid
 
 import (
 	"fmt"
+	"math"
 
 	"rmscale/internal/sim"
 	"rmscale/internal/topology"
@@ -121,6 +122,18 @@ func DefaultEnablers() Enablers {
 
 // Validate reports the first out-of-range enabler.
 func (e Enablers) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"UpdateInterval", e.UpdateInterval},
+		{"LinkDelayScale", e.LinkDelayScale},
+		{"VolunteerInterval", e.VolunteerInterval},
+	} {
+		if !finite(v.val) {
+			return fmt.Errorf("grid: %s must be finite, got %v", v.name, v.val)
+		}
+	}
 	switch {
 	case e.UpdateInterval <= 0:
 		return fmt.Errorf("grid: UpdateInterval must be positive, got %v", e.UpdateInterval)
@@ -207,7 +220,11 @@ func (p Protocol) Validate() error {
 }
 
 // FaultModel injects failures for robustness studies; the zero value
-// disables all of it (the paper's experiments run fault-free).
+// disables all of it (the paper's experiments run fault-free). Every
+// fault process draws from its own dedicated named RNG stream, so a
+// fault-free configuration is byte-identical to a run built before the
+// fault layer existed, and enabling one fault class never perturbs the
+// workload, topology or any other fault class.
 type FaultModel struct {
 	// ResourceMTBF is the mean time between resource crashes; 0
 	// disables crashes. Queued jobs on a crashed resource are lost.
@@ -215,12 +232,83 @@ type FaultModel struct {
 	// RepairTime is how long a crashed resource stays down.
 	RepairTime float64
 	// UpdateLossProb drops each status update/digest message with this
-	// probability (protocol messages are reliable).
+	// probability (protocol messages are governed by MsgLossProb).
 	UpdateLossProb float64
+
+	// SchedulerMTBF is the mean time between scheduler crashes; 0
+	// disables them. A crashed scheduler loses its queued CPU work and
+	// the jobs it holds are re-homed to the first live cluster in its
+	// peer list (or parked until repair when no peer is alive).
+	SchedulerMTBF float64
+	// SchedulerRepair is how long a crashed scheduler stays down.
+	SchedulerRepair float64
+	// EstimatorMTBF is the mean time between estimator crashes; 0
+	// disables them. While an estimator is down its resources fall back
+	// to direct scheduler updates.
+	EstimatorMTBF float64
+	// EstimatorRepair is how long a crashed estimator stays down.
+	EstimatorRepair float64
+	// MsgLossProb drops each protocol message (poll, bid, reservation,
+	// job transfer, ...) with this probability.
+	MsgLossProb float64
+	// LinkOutageMTBF is the mean time between access-link outages per
+	// grid endpoint; 0 disables them. During an outage window every
+	// message to or from the severed endpoint is lost.
+	LinkOutageMTBF float64
+	// LinkOutageDuration is how long each outage window lasts.
+	LinkOutageDuration float64
+	// RetryTimeout is the sender-side timeout before a lost protocol
+	// request is retransmitted; it doubles on each attempt (binary
+	// backoff). Zero retransmits immediately.
+	RetryTimeout float64
+	// MaxRetries bounds retransmissions per protocol message; 0
+	// disables the retry path entirely (a lost message stays lost).
+	MaxRetries int
+}
+
+// finite reports whether x is a usable parameter value (neither NaN nor
+// an infinity). Validation rejects non-finite values explicitly:
+// comparisons like f.ResourceMTBF < 0 are false for NaN, which would
+// otherwise let NaN slip through range checks.
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// Enabled reports whether any fault process is active.
+func (f FaultModel) Enabled() bool {
+	return f.ResourceMTBF > 0 || f.UpdateLossProb > 0 || f.protocolFaults()
+}
+
+// protocolFaults reports whether any fault class that can destroy a
+// protocol message or an RMS node is active — the condition under which
+// the engine arms its timeout/retry and failover machinery.
+func (f FaultModel) protocolFaults() bool {
+	return f.SchedulerMTBF > 0 || f.EstimatorMTBF > 0 ||
+		f.MsgLossProb > 0 || f.LinkOutageMTBF > 0
 }
 
 // Validate reports the first nonsensical fault parameter.
 func (f FaultModel) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"ResourceMTBF", f.ResourceMTBF},
+		{"RepairTime", f.RepairTime},
+		{"UpdateLossProb", f.UpdateLossProb},
+		{"SchedulerMTBF", f.SchedulerMTBF},
+		{"SchedulerRepair", f.SchedulerRepair},
+		{"EstimatorMTBF", f.EstimatorMTBF},
+		{"EstimatorRepair", f.EstimatorRepair},
+		{"MsgLossProb", f.MsgLossProb},
+		{"LinkOutageMTBF", f.LinkOutageMTBF},
+		{"LinkOutageDuration", f.LinkOutageDuration},
+		{"RetryTimeout", f.RetryTimeout},
+	} {
+		if !finite(v.val) {
+			return fmt.Errorf("grid: %s must be finite, got %v", v.name, v.val)
+		}
+	}
 	switch {
 	case f.ResourceMTBF < 0:
 		return fmt.Errorf("grid: negative ResourceMTBF %v", f.ResourceMTBF)
@@ -228,6 +316,26 @@ func (f FaultModel) Validate() error {
 		return fmt.Errorf("grid: crashes enabled but RepairTime %v", f.RepairTime)
 	case f.UpdateLossProb < 0 || f.UpdateLossProb >= 1:
 		return fmt.Errorf("grid: UpdateLossProb %v outside [0,1)", f.UpdateLossProb)
+	case f.SchedulerMTBF < 0:
+		return fmt.Errorf("grid: negative SchedulerMTBF %v", f.SchedulerMTBF)
+	case f.SchedulerMTBF > 0 && f.SchedulerRepair <= 0:
+		return fmt.Errorf("grid: scheduler crashes enabled but SchedulerRepair %v", f.SchedulerRepair)
+	case f.EstimatorMTBF < 0:
+		return fmt.Errorf("grid: negative EstimatorMTBF %v", f.EstimatorMTBF)
+	case f.EstimatorMTBF > 0 && f.EstimatorRepair <= 0:
+		return fmt.Errorf("grid: estimator crashes enabled but EstimatorRepair %v", f.EstimatorRepair)
+	case f.MsgLossProb < 0 || f.MsgLossProb >= 1:
+		return fmt.Errorf("grid: MsgLossProb %v outside [0,1)", f.MsgLossProb)
+	case f.LinkOutageMTBF < 0:
+		return fmt.Errorf("grid: negative LinkOutageMTBF %v", f.LinkOutageMTBF)
+	case f.LinkOutageMTBF > 0 && f.LinkOutageDuration <= 0:
+		return fmt.Errorf("grid: link outages enabled but LinkOutageDuration %v", f.LinkOutageDuration)
+	case f.RetryTimeout < 0:
+		return fmt.Errorf("grid: negative RetryTimeout %v", f.RetryTimeout)
+	case f.MaxRetries < 0:
+		return fmt.Errorf("grid: negative MaxRetries %d", f.MaxRetries)
+	case f.MaxRetries > 16:
+		return fmt.Errorf("grid: MaxRetries %d above the backoff bound 16", f.MaxRetries)
 	}
 	return nil
 }

@@ -1,0 +1,90 @@
+package grid
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFaultModelValidateNonFinite: range checks like f.ResourceMTBF < 0
+// are false for NaN, so NaN (and the infinities) used to slip through
+// validation and poison every downstream computation. Every float field
+// must reject non-finite values explicitly.
+func TestFaultModelValidateNonFinite(t *testing.T) {
+	bads := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	set := []func(*FaultModel, float64){
+		func(f *FaultModel, v float64) { f.ResourceMTBF = v },
+		func(f *FaultModel, v float64) { f.RepairTime = v },
+		func(f *FaultModel, v float64) { f.UpdateLossProb = v },
+		func(f *FaultModel, v float64) { f.SchedulerMTBF = v },
+		func(f *FaultModel, v float64) { f.SchedulerRepair = v },
+		func(f *FaultModel, v float64) { f.EstimatorMTBF = v },
+		func(f *FaultModel, v float64) { f.EstimatorRepair = v },
+		func(f *FaultModel, v float64) { f.MsgLossProb = v },
+		func(f *FaultModel, v float64) { f.LinkOutageMTBF = v },
+		func(f *FaultModel, v float64) { f.LinkOutageDuration = v },
+		func(f *FaultModel, v float64) { f.RetryTimeout = v },
+	}
+	for i, s := range set {
+		for _, bad := range bads {
+			var f FaultModel
+			s(&f, bad)
+			if err := f.Validate(); err == nil {
+				t.Errorf("field %d: non-finite %v accepted", i, bad)
+			} else if !strings.Contains(err.Error(), "finite") {
+				t.Errorf("field %d: wrong error for %v: %v", i, bad, err)
+			}
+		}
+	}
+}
+
+// TestEnablersValidateNonFinite covers the same hole in Enablers.
+func TestEnablersValidateNonFinite(t *testing.T) {
+	for _, mut := range []func(*Enablers){
+		func(e *Enablers) { e.UpdateInterval = math.NaN() },
+		func(e *Enablers) { e.LinkDelayScale = math.Inf(1) },
+		func(e *Enablers) { e.VolunteerInterval = math.NaN() },
+	} {
+		e := DefaultEnablers()
+		mut(&e)
+		if err := e.Validate(); err == nil {
+			t.Errorf("non-finite enabler accepted: %+v", e)
+		}
+	}
+}
+
+// TestFaultModelValidateRanges spot-checks the range rules on the new
+// fault classes.
+func TestFaultModelValidateRanges(t *testing.T) {
+	for name, f := range map[string]FaultModel{
+		"negative scheduler MTBF":  {SchedulerMTBF: -1},
+		"crash without repair":     {SchedulerMTBF: 100},
+		"estimator without repair": {EstimatorMTBF: 100},
+		"loss prob of one":         {MsgLossProb: 1},
+		"outage without duration":  {LinkOutageMTBF: 100},
+		"negative retry timeout":   {RetryTimeout: -1},
+		"negative retries":         {MaxRetries: -1},
+		"huge retry budget":        {MaxRetries: 64},
+	} {
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s accepted: %+v", name, f)
+		}
+	}
+	ok := FaultModel{
+		SchedulerMTBF: 500, SchedulerRepair: 50,
+		EstimatorMTBF: 500, EstimatorRepair: 50,
+		MsgLossProb:    0.1,
+		LinkOutageMTBF: 300, LinkOutageDuration: 20,
+		RetryTimeout: 30, MaxRetries: 3,
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid fault model rejected: %v", err)
+	}
+	if !ok.Enabled() || !ok.protocolFaults() {
+		t.Error("fully loaded fault model must report enabled")
+	}
+	var zero FaultModel
+	if zero.Enabled() || zero.protocolFaults() {
+		t.Error("zero fault model must report disabled")
+	}
+}

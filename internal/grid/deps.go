@@ -92,11 +92,19 @@ func (e *Engine) startWithDeps() {
 	}
 }
 
-// admitJob delivers a job to its submission scheduler.
+// admitJob delivers a job to its submission scheduler. With faults
+// armed the admission goes through the fault-aware path: a down
+// scheduler parks the submission until its repair, and the engine
+// starts tracking which scheduler is responsible for the job.
 func (e *Engine) admitJob(j *workload.Job) {
 	s := e.Schedulers[j.Cluster]
 	e.Tracer.Tracef("arrival", "job %d at cluster %d (%v)", j.ID, j.Cluster, j.Class)
-	e.policy.OnJob(s, &JobCtx{Job: j, Origin: j.Cluster})
+	ctx := &JobCtx{Job: j, Origin: j.Cluster}
+	if e.fs != nil {
+		e.deliverToScheduler(s, ctx)
+		return
+	}
+	e.policy.OnJob(s, ctx)
 }
 
 // jobTerminated releases dependents of a finished (or lost) job.

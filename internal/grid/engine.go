@@ -38,6 +38,7 @@ type Engine struct {
 	jobs   []*workload.Job
 	src    *sim.Source
 	faults *sim.Stream
+	fs     *faultState // nil unless protocol faults are armed
 	mw     *middleware
 	depsT  *depTracker
 
@@ -132,6 +133,11 @@ func NewWith(cfg Config, p Policy, sub *Substrate) (*Engine, error) {
 		e.mw = &middleware{eng: e}
 	}
 	e.faults = e.src.Stream("faults")
+	if cfg.Faults.protocolFaults() {
+		if err := e.setupFaults(); err != nil {
+			return nil, err
+		}
+	}
 
 	// Workload.
 	jobs, err := workload.Generate(cfg.Workload, e.src.Stream("workload"))
@@ -230,19 +236,38 @@ func (e *Engine) Run() Summary {
 	for _, est := range e.Estimators {
 		est.startDigests(e.Cfg.Protocol.EstimatorInterval, phase)
 	}
-	// Volunteering ticks.
+	// Volunteering ticks. A crashed scheduler skips its tick; the
+	// ticker itself survives the outage.
 	for _, s := range e.Schedulers {
 		s := s
+		tick := func() {
+			if s.down {
+				return
+			}
+			e.policy.OnTick(s)
+		}
 		offset := phase.Uniform(0, e.Cfg.Enablers.VolunteerInterval)
 		e.K.After(offset, func() {
-			e.policy.OnTick(s)
-			sim.NewTicker(e.K, e.Cfg.Enablers.VolunteerInterval, func() { e.policy.OnTick(s) })
+			tick()
+			sim.NewTicker(e.K, e.Cfg.Enablers.VolunteerInterval, tick)
 		})
 	}
 	// Failure injection.
 	if e.Cfg.Faults.ResourceMTBF > 0 {
 		for _, r := range e.Resources {
 			e.scheduleCrash(r)
+		}
+	}
+	if e.fs != nil {
+		if e.Cfg.Faults.SchedulerMTBF > 0 {
+			for _, s := range e.Schedulers {
+				e.armSchedulerCrash(s)
+			}
+		}
+		if e.Cfg.Faults.EstimatorMTBF > 0 {
+			for _, est := range e.Estimators {
+				e.armEstimatorCrash(est)
+			}
 		}
 	}
 	// Job arrivals: precedence-constrained workloads go through the
@@ -312,12 +337,20 @@ func (e *Engine) sendStatusUpdate(r *Resource, load float64) {
 	at := e.K.Now()
 	if len(e.Estimators) > 0 {
 		est := e.Estimators[r.id%len(e.Estimators)]
-		e.K.After(e.delay(r.node, est.node, e.Cfg.UpdateBytes), func() {
-			est.receive(r.id, load, at)
-		})
-		return
+		if e.fs == nil || !est.down {
+			e.K.After(e.delay(r.node, est.node, e.Cfg.UpdateBytes), func() {
+				est.receive(r.id, load, at)
+			})
+			return
+		}
+		// Estimator death falls back to a direct scheduler update.
+		e.Metrics.EstimatorFallbacks++
 	}
 	s := e.Schedulers[r.cluster]
+	if e.fs != nil && s.down {
+		e.Metrics.UpdatesLost++
+		return
+	}
 	e.K.After(e.delay(r.node, s.node, e.Cfg.UpdateBytes), func() {
 		c := e.Cfg.Costs
 		s.Exec(c.UpdateBatchBase+c.UpdatePer, func() {
@@ -334,6 +367,10 @@ func (e *Engine) sendStatusUpdate(r *Resource, load float64) {
 // what couples their overhead to the estimator count.
 func (e *Engine) broadcastDigest(est *Estimator, items []statusItem) {
 	for _, s := range e.Schedulers {
+		if e.fs != nil && s.down {
+			e.Metrics.UpdatesLost++
+			continue
+		}
 		if e.Cfg.Faults.UpdateLossProb > 0 && e.faults.Bool(e.Cfg.Faults.UpdateLossProb) {
 			e.Metrics.UpdatesLost++
 			continue
@@ -362,7 +399,10 @@ func (e *Engine) broadcastDigest(est *Estimator, items []statusItem) {
 
 // deliverPolicy carries a protocol message between schedulers, via the
 // middleware queue when the policy uses one. The receiver pays a
-// Message cost before the policy handler runs.
+// Message cost before the policy handler runs. With protocol faults
+// armed the message rides the timeout/retry path; one that exhausts its
+// budget is simply gone — the session it belonged to stalls, exactly
+// the degradation the churn experiment measures.
 func (e *Engine) deliverPolicy(from *Scheduler, to int, kind int, payload any) {
 	if to < 0 || to >= len(e.Schedulers) {
 		panic(fmt.Sprintf("grid: policy message to invalid cluster %d", to))
@@ -374,6 +414,10 @@ func (e *Engine) deliverPolicy(from *Scheduler, to int, kind int, payload any) {
 	deliver := func() {
 		dst.ExecMsg(func() { e.policy.OnMessage(dst, m) })
 	}
+	if e.fs != nil {
+		e.protoSend(from.node, dst, net, 0, deliver, nil)
+		return
+	}
 	if e.mw != nil {
 		e.mw.enqueue(net, deliver)
 		return
@@ -382,8 +426,17 @@ func (e *Engine) deliverPolicy(from *Scheduler, to int, kind int, payload any) {
 }
 
 // transferJob moves a job envelope to another cluster's scheduler; it
-// re-enters the policy as OnJob with Hops incremented.
+// re-enters the policy as OnJob with Hops incremented. Under faults the
+// transfer retries like any protocol message, and one that exhausts its
+// budget bounces back to the sender — a job envelope is never lost to
+// the network.
 func (e *Engine) transferJob(from *Scheduler, ctx *JobCtx, to int) {
+	if !from.disown(ctx) {
+		// A crash moved this job to another home while the sending
+		// session was still in flight; the stale transfer dissolves.
+		e.Metrics.StaleActions++
+		return
+	}
 	if ctx.Hops >= maxJobHops {
 		e.dropJob(ctx)
 		return
@@ -393,6 +446,15 @@ func (e *Engine) transferJob(from *Scheduler, ctx *JobCtx, to int) {
 	e.Tracer.Tracef("transfer", "job %d: cluster %d -> %d", ctx.Job.ID, from.cluster, to)
 	dst := e.Schedulers[to]
 	net := e.delay(from.node, dst.node, e.Cfg.JobBytes)
+	if e.fs != nil {
+		deliver := func() {
+			dst.own(ctx)
+			dst.ExecMsg(func() { e.policy.OnJob(dst, ctx) })
+		}
+		abandon := func() { e.deliverToScheduler(from, ctx) }
+		e.protoSend(from.node, dst, net, 0, deliver, abandon)
+		return
+	}
 	deliver := func() {
 		dst.ExecMsg(func() { e.policy.OnJob(dst, ctx) })
 	}
@@ -420,6 +482,10 @@ func (e *Engine) bounce(ctx *JobCtx) {
 		return
 	}
 	s := e.Schedulers[ctx.Origin]
+	if e.fs != nil {
+		e.deliverToScheduler(s, ctx)
+		return
+	}
 	e.policy.OnJob(s, ctx)
 }
 

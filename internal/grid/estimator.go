@@ -26,6 +26,11 @@ type Estimator struct {
 	// buffer[cluster] holds updates pending digestion for that
 	// cluster's scheduler.
 	buffer map[int][]statusItem
+
+	// Fault state (see faults.go): a crash empties the buffer and the
+	// epoch bump destroys queued CPU work.
+	down  bool
+	epoch int
 }
 
 // ID returns the estimator index.
@@ -34,8 +39,13 @@ func (e *Estimator) ID() int { return e.id }
 // Node returns the estimator's topology node.
 func (e *Estimator) Node() int { return e.node }
 
-// exec serializes work through the estimator CPU, charging G.
+// exec serializes work through the estimator CPU, charging G. A dead
+// estimator retires no work, and work queued before a crash dies with
+// it (the epoch guard).
 func (e *Estimator) exec(cost float64, fn func()) {
+	if e.down {
+		return
+	}
 	busy := cost / e.eng.Cfg.Costs.SchedulerSpeed
 	e.eng.Metrics.chargeEstimator(e.id, cost, busy)
 	now := e.eng.K.Now()
@@ -45,7 +55,13 @@ func (e *Estimator) exec(cost float64, fn func()) {
 	}
 	finish := start + busy
 	e.busyUntil = finish
-	e.eng.K.Schedule(finish, fn)
+	epoch := e.epoch
+	e.eng.K.Schedule(finish, func() {
+		if e.epoch != epoch {
+			return
+		}
+		fn()
+	})
 }
 
 // receive ingests one resource update.
@@ -63,6 +79,9 @@ func (e *Estimator) receive(rid int, load float64, at sim.Time) {
 // scheduling decision makers" — and it is why scaling up the estimator
 // layer multiplies the digest traffic every scheduler must process.
 func (e *Estimator) flush() {
+	if e.down {
+		return
+	}
 	var batch []statusItem
 	for cluster, items := range e.buffer {
 		batch = append(batch, items...)

@@ -39,6 +39,29 @@ type Metrics struct {
 	PolicyMsgs        int
 	JobTransfers      int // REMOTE jobs moved between clusters
 
+	// Fault accounting; every field stays zero in a fault-free run.
+	SchedulerCrashes  int
+	EstimatorCrashes  int
+	SchedulerDowntime float64 // summed scheduler repair windows
+	EstimatorDowntime float64
+	// MsgsLost counts protocol messages lost in transit (random loss,
+	// link outage) or arriving at a crashed scheduler; MsgRetries the
+	// retransmissions the timeout path issued; MsgsAbandoned the
+	// messages that exhausted the retry budget.
+	MsgsLost      int
+	MsgRetries    int
+	MsgsAbandoned int
+	// Failovers counts jobs re-homed off a crashed scheduler to a live
+	// peer; JobsParked the job deliveries that waited out a down
+	// scheduler; StaleActions the dispatches/transfers dissolved because
+	// a crash had already moved the job elsewhere.
+	Failovers    int
+	JobsParked   int
+	StaleActions int
+	// EstimatorFallbacks counts status updates routed directly to the
+	// scheduler while the resource's estimator was down.
+	EstimatorFallbacks int
+
 	// SchedulerBusy[c] is the busy time of cluster c's scheduler, used
 	// to locate bottlenecks. EstimatorBusy likewise.
 	SchedulerBusy []float64
@@ -66,6 +89,14 @@ type Summary struct {
 	MaxSchedulerUtil float64 // busiest RMS node busy fraction, saturation flag
 	MaxSchedDelay    float64 // worst RMS work-queue backlog, saturation flag
 	MiddlewareUtil   float64 // middleware queue busy fraction
+
+	// Robustness accounting; all zero in a fault-free run.
+	JobsLost  int     // destroyed by crashes or dropped after too many bounces
+	Crashes   int     // scheduler + estimator crashes
+	Downtime  float64 // summed RMS-node downtime
+	MsgsLost  int     // protocol messages lost to faults
+	Retries   int     // protocol retransmissions issued
+	Failovers int     // jobs re-homed off a crashed scheduler
 }
 
 // Summarize derives the summary over an observation window of the given
@@ -105,15 +136,28 @@ func (m *Metrics) Summarize(window sim.Time) Summary {
 		s.MiddlewareUtil = m.MiddlewareBusy / float64(window)
 	}
 	s.MaxSchedDelay = m.MaxSchedDelay
+	s.JobsLost = m.JobsLost
+	s.Crashes = m.SchedulerCrashes + m.EstimatorCrashes
+	s.Downtime = m.SchedulerDowntime + m.EstimatorDowntime
+	s.MsgsLost = m.MsgsLost
+	s.Retries = m.MsgRetries
+	s.Failovers = m.Failovers
 	return s
 }
 
-// String renders the summary compactly for logs and CLIs.
+// String renders the summary compactly for logs and CLIs. The fault
+// block only appears when something actually failed, so fault-free
+// output is unchanged from before the fault layer existed.
 func (s Summary) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"F=%.0f G=%.0f H=%.0f E=%.3f thpt=%.4f resp=%.1f success=%.3f jobs=%d maxRMSutil=%.2f maxRMSdelay=%.1f mwUtil=%.2f",
 		s.F, s.G, s.H, s.Efficiency, s.Throughput, s.MeanResponse, s.SuccessRate, s.Jobs,
 		s.MaxSchedulerUtil, s.MaxSchedDelay, s.MiddlewareUtil)
+	if s.JobsLost > 0 || s.Crashes > 0 || s.MsgsLost > 0 || s.Retries > 0 || s.Failovers > 0 {
+		out += fmt.Sprintf(" | faults: jobsLost=%d crashes=%d downtime=%.0f msgsLost=%d retries=%d failovers=%d",
+			s.JobsLost, s.Crashes, s.Downtime, s.MsgsLost, s.Retries, s.Failovers)
+	}
+	return out
 }
 
 // chargeScheduler adds cost to G and busy wall time (cost divided by

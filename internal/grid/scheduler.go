@@ -40,6 +40,15 @@ type Scheduler struct {
 	peers     []int                 // neighborhood of remote clusters
 	rand      *sim.Stream
 
+	// Fault state (see faults.go). epoch invalidates queued Exec work
+	// when a crash destroys the scheduler's CPU state; owned tracks the
+	// jobs this scheduler is responsible for so a crash can re-home
+	// them; parked holds jobs waiting out this scheduler's downtime.
+	down   bool
+	epoch  int
+	owned  map[int]*JobCtx
+	parked []*JobCtx
+
 	// State lets a policy hang per-scheduler protocol state here
 	// (reservations, received advertisements, open auctions, ...).
 	State any
@@ -192,6 +201,12 @@ func (s *Scheduler) Exec(cost float64, fn func()) {
 	if cost < 0 {
 		panic("grid: negative exec cost")
 	}
+	if s.down {
+		// A dead scheduler retires no work; the message or decision
+		// evaporates. Jobs survive through ownership tracking, not
+		// through queued closures.
+		return
+	}
 	busy := cost / s.eng.Cfg.Costs.SchedulerSpeed
 	s.eng.Metrics.chargeScheduler(s.cluster, cost, busy)
 	now := s.eng.K.Now()
@@ -203,7 +218,15 @@ func (s *Scheduler) Exec(cost float64, fn func()) {
 	}
 	finish := start + busy
 	s.busyUntil = finish
-	s.eng.K.Schedule(finish, fn)
+	// Work queued before a crash dies with it: the closure only runs
+	// while the epoch it was scheduled under is still current.
+	epoch := s.epoch
+	s.eng.K.Schedule(finish, func() {
+		if s.epoch != epoch {
+			return
+		}
+		fn()
+	})
 }
 
 // QueueDelay reports how far behind the scheduler's CPU currently is.
@@ -230,6 +253,12 @@ func (s *Scheduler) ExecMsg(fn func()) {
 // Dispatch sends the job to a local resource, optimistically bumping the
 // believed load. The job-control overhead lands in H at the resource.
 func (s *Scheduler) Dispatch(ctx *JobCtx, rid int) {
+	if !s.disown(ctx) {
+		// The job failed over to another cluster while this scheduler's
+		// session still referenced it; the stale dispatch dissolves.
+		s.eng.Metrics.StaleActions++
+		return
+	}
 	ctx.Attempts++
 	s.bumpView(rid)
 	s.eng.sendJobToResource(s, ctx, rid)
@@ -242,6 +271,7 @@ func (s *Scheduler) DispatchLeastLoaded(ctx *JobCtx) {
 	s.ExecDecision(n, func() {
 		rid, _, ok := s.LeastLoadedLocal()
 		if !ok {
+			s.disown(ctx)
 			s.eng.dropJob(ctx)
 			return
 		}

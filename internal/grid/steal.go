@@ -22,6 +22,9 @@ func (e *Engine) StealQueuedJob(cluster int) *JobCtx {
 	ctx := victim.queue[len(victim.queue)-1]
 	victim.queue = victim.queue[:len(victim.queue)-1]
 	victim.dirty = true
+	// The stolen job is the scheduler's responsibility again until it
+	// is re-dispatched or transferred (no-op without faults armed).
+	e.Schedulers[cluster].own(ctx)
 	// The scheduler's optimistic view of this resource is now one too
 	// high; the next status update heals it.
 	return ctx

@@ -2,8 +2,10 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -56,7 +58,15 @@ type Pool struct {
 	pending int    // submitted + spawned tasks not yet finished
 	closed  bool   // Wait called; no further Submit allowed
 	err     error  // first task error
+	errs    []error // every task error, in completion order (keep-going mode)
 	running map[int]string
+
+	// keepGoing, when set, stops a task error from cancelling the pool:
+	// the remaining tasks complete and Wait returns every error joined.
+	// retries is how many times a failed task is immediately re-run
+	// before its error counts.
+	keepGoing bool
+	retries   int
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -109,6 +119,31 @@ func NewPool(ctx context.Context, n int, obs PoolObserver) *Pool {
 // Workers reports the pool's worker count.
 func (p *Pool) Workers() int { return len(p.workers) }
 
+// SetKeepGoing selects the pool's failure discipline. Fail-fast (the
+// default) cancels everything on the first task error — right for
+// short runs where any failure voids the result. Keep-going lets the
+// remaining tasks complete and Wait returns every error joined — right
+// for long sweeps where the completed points are journaled and one bad
+// point must not kill a ten-hour run. Call before submitting work.
+func (p *Pool) SetKeepGoing(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.keepGoing = on
+}
+
+// SetTaskRetries sets how many times a failed or panicking task is
+// immediately re-run before its error counts (0, the default, means
+// one attempt only). Retries apply per task, not per pool. Call before
+// submitting work.
+func (p *Pool) SetTaskRetries(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.retries = n
+}
+
 // Submit enqueues a task on the shared injection queue. It panics if
 // called after Wait.
 func (p *Pool) Submit(t Task) {
@@ -132,8 +167,9 @@ func (p *Pool) spawn(w *worker, t Task) {
 }
 
 // Wait closes submission and blocks until every task has finished (or
-// the pool was cancelled and drained). It returns the first task error,
-// or the context error on cancellation.
+// the pool was cancelled and drained). Fail-fast it returns the first
+// task error; keep-going it returns every task error joined; either
+// way the context error on cancellation.
 func (p *Pool) Wait() error {
 	p.mu.Lock()
 	p.closed = true
@@ -145,6 +181,9 @@ func (p *Pool) Wait() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.err != nil {
+		if p.keepGoing {
+			return errors.Join(p.errs...)
+		}
 		return p.err
 	}
 	return ctxErr
@@ -206,36 +245,45 @@ func (p *Pool) run(w *worker) {
 		}
 		p.mu.Lock()
 		p.running[w.id] = t.ID
+		retries := p.retries
 		p.mu.Unlock()
 		if p.observer != nil {
 			p.observer.TaskStart(w.id, t.ID)
 		}
 		err := p.runTask(w, t)
+		for attempt := 0; err != nil && attempt < retries && p.ctx.Err() == nil; attempt++ {
+			err = p.runTask(w, t)
+		}
 		if p.observer != nil {
 			p.observer.TaskDone(w.id, t.ID, err)
 		}
 		p.mu.Lock()
 		delete(p.running, w.id)
-		if err != nil && p.err == nil {
-			p.err = err
+		if err != nil {
+			if p.err == nil {
+				p.err = err
+			}
+			p.errs = append(p.errs, err)
 		}
 		p.pending--
 		if p.pending == 0 {
 			p.cond.Broadcast()
 		}
+		keepGoing := p.keepGoing
 		p.mu.Unlock()
-		if err != nil {
+		if err != nil && !keepGoing {
 			p.cancel()
 		}
 	}
 }
 
-// runTask executes t, converting a panic into an error so one bad task
-// cannot take down the whole process.
+// runTask executes t, converting a panic into an error carrying the
+// captured stack so one bad task cannot take down the whole process —
+// and the failure is still debuggable after the run finishes.
 func (p *Pool) runTask(w *worker, t Task) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("runner: task %s panicked: %v", t.ID, r)
+			err = fmt.Errorf("runner: task %s panicked: %v\n%s", t.ID, r, debug.Stack())
 		}
 	}()
 	return t.Run(&TaskCtx{Context: p.ctx, w: w})

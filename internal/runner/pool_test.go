@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -121,6 +122,94 @@ func TestPoolRecoversPanics(t *testing.T) {
 	err := p.Wait()
 	if err == nil {
 		t.Fatal("panic was swallowed")
+	}
+}
+
+// TestPoolPanicCarriesStack: the converted panic error must identify
+// the task and carry the goroutine stack, so a failure in hour ten of
+// a sweep is still debuggable from the error alone.
+func TestPoolPanicCarriesStack(t *testing.T) {
+	p := NewPool(context.Background(), 2, nil)
+	p.SetKeepGoing(true)
+	p.Submit(Task{ID: "exploder", Run: func(tc *TaskCtx) error { panic("kaboom") }})
+	err := p.Wait()
+	if err == nil {
+		t.Fatal("panic was swallowed")
+	}
+	for _, want := range []string{"exploder", "kaboom", "goroutine", "pool_test.go"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("panic error lacks %q:\n%v", want, err)
+		}
+	}
+}
+
+// TestPoolKeepGoingCompletesRest: in keep-going mode a panicking task
+// surfaces as that task's error while every other task still runs to
+// completion, and Wait joins all the errors.
+func TestPoolKeepGoingCompletesRest(t *testing.T) {
+	p := NewPool(context.Background(), 2, nil)
+	p.SetKeepGoing(true)
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	p.Submit(Task{ID: "panics", Run: func(tc *TaskCtx) error { panic("kaboom") }})
+	p.Submit(Task{ID: "fails", Run: func(tc *TaskCtx) error { return boom }})
+	for i := 0; i < 50; i++ {
+		p.Submit(Task{ID: fmt.Sprintf("ok%d", i), Run: func(tc *TaskCtx) error {
+			if tc.Err() != nil {
+				return tc.Err()
+			}
+			ran.Add(1)
+			time.Sleep(time.Millisecond)
+			return nil
+		}})
+	}
+	err := p.Wait()
+	if err == nil {
+		t.Fatal("task errors were swallowed")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("joined error lost the plain task error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("joined error lost the panic: %v", err)
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("only %d of 50 healthy tasks completed after the failures", ran.Load())
+	}
+}
+
+// TestPoolTaskRetries: a task that fails transiently must be re-run up
+// to the retry budget and succeed without surfacing an error; one that
+// always fails surfaces its error after exhausting the budget.
+func TestPoolTaskRetries(t *testing.T) {
+	p := NewPool(context.Background(), 2, nil)
+	p.SetTaskRetries(2)
+	var flaky, stubborn atomic.Int64
+	p.Submit(Task{ID: "flaky", Run: func(tc *TaskCtx) error {
+		if flaky.Add(1) < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}})
+	if err := p.Wait(); err != nil {
+		t.Fatalf("flaky task failed despite retry budget: %v", err)
+	}
+	if flaky.Load() != 3 {
+		t.Fatalf("flaky task ran %d times, want 3", flaky.Load())
+	}
+
+	p = NewPool(context.Background(), 2, nil)
+	p.SetTaskRetries(2)
+	p.SetKeepGoing(true)
+	p.Submit(Task{ID: "stubborn", Run: func(tc *TaskCtx) error {
+		stubborn.Add(1)
+		return errors.New("permanent")
+	}})
+	if err := p.Wait(); err == nil {
+		t.Fatal("permanently failing task reported success")
+	}
+	if stubborn.Load() != 3 {
+		t.Fatalf("stubborn task ran %d times, want 3 (1 + 2 retries)", stubborn.Load())
 	}
 }
 

@@ -74,6 +74,14 @@ type Observation struct {
 	// Saturated reports whether any RMS node ran at its capacity
 	// limit (a scalability bottleneck indicator).
 	Saturated bool
+
+	// Fault accounting for degraded-mode evaluations, averaged over
+	// replicas like the terms above; all zero in a fault-free run.
+	JobsLost  float64 // jobs destroyed by crashes or dropped
+	Crashes   float64 // RMS-node (scheduler + estimator) crashes
+	MsgsLost  float64 // protocol messages lost to faults
+	Retries   float64 // protocol retransmissions issued
+	Failovers float64 // jobs re-homed off a crashed scheduler
 }
 
 // Evaluator runs the managed distributed system at scale factor k with
