@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet lint test race bench
 
-# The gate CI runs: vet + full test suite + race on the concurrent packages.
-check: vet test race
+# The gate CI runs: vet + determinism lint + full test suite + race.
+check: vet lint test race
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,19 @@ build:
 vet:
 	$(GO) vet ./...
 
+# The custom determinism/model-coverage analyzers (see DESIGN.md,
+# "Determinism invariants"). Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/rmslint ./...
+
 test: build
 	$(GO) test ./...
 
-# The runner's pool/cache/journal and the experiment driver are the
-# concurrent surface; keep them race-clean.
+# Race-check the whole module; -short keeps the smoke-fidelity
+# experiment runs out of the race build, which would otherwise
+# dominate the wall clock.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/experiments/...
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -366,3 +366,7 @@ func PaperConstantsTable(w io.Writer) error {
 // ScalingTables renders Tables 2-5 (scaling variables and enablers per
 // case).
 func ScalingTables(w io.Writer) error { return experiments.WriteScalingTables(w) }
+
+// ModelRoster renders the seven evaluated models with their protocol
+// descriptions (the paper's Section 3.3 taxonomy).
+func ModelRoster(w io.Writer) error { return experiments.WriteModelRoster(w) }

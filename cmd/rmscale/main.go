@@ -287,6 +287,10 @@ func saveFigure(dir string, ss *rmscale.SeriesSet) error {
 }
 
 func printTables(out io.Writer) error {
+	if err := rmscale.ModelRoster(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
 	if err := rmscale.PaperConstantsTable(out); err != nil {
 		return err
 	}

@@ -1,0 +1,43 @@
+// Command rmslint runs the module's determinism and model-coverage
+// analyzers (internal/lint) over the packages matched by its
+// arguments, defaulting to ./... — a multichecker in the style of
+// golang.org/x/tools/go/analysis/multichecker, built on the standard
+// library only.
+//
+// Usage:
+//
+//	rmslint [packages]
+//
+// Diagnostics print one per line in go vet's file:line:col format.
+// The exit status is 1 when any diagnostic is reported, 2 on driver
+// errors. The //lint:allow and //lint:orderindependent directives
+// suppress single findings; see DESIGN.md "Determinism invariants".
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rmscale/internal/lint"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmslint:", err)
+		os.Exit(2)
+	}
+	n, err := lint.RunDir(dir, patterns, lint.DefaultConfig, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmslint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "rmslint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"rmscale/internal/lint"
+)
+
+// TestRegistersAllFiveAnalyzers pins the multichecker's roster: the
+// suite the binary runs must contain exactly the five determinism and
+// model-coverage analyzers, in their documented order.
+func TestRegistersAllFiveAnalyzers(t *testing.T) {
+	want := []string{"nowallclock", "noglobalrand", "mapiterorder", "nokernelgoroutines", "rmsexhaustive"}
+	suite := lint.Suite(lint.DefaultConfig)
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}
+
+// TestSelfClean runs the driver over this package: the lint gate the
+// CI applies to the whole module must at minimum hold for the linter
+// itself.
+func TestSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the dependency graph")
+	}
+	var buf bytes.Buffer
+	n, err := lint.RunDir(".", []string{"."}, lint.DefaultConfig, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("rmslint is not self-clean:\n%s", buf.String())
+	}
+}

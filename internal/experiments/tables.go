@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"rmscale/internal/grid"
+	"rmscale/internal/rms"
 	"rmscale/internal/workload"
 )
 
@@ -59,4 +60,20 @@ Table 5 (Case 4): scaling the RMS by L_p
   scaling enablers:  status update interval; interval for resource volunteering; network link delay
 `)
 	return err
+}
+
+// WriteModelRoster renders the seven evaluated models with the
+// paper's Section 3.3 one-line protocol descriptions. Iterating
+// rms.IDs keeps the roster mechanically complete: the descriptions
+// come from an enum switch the rmsexhaustive analyzer checks.
+func WriteModelRoster(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Models (Section 3.3):"); err != nil {
+		return err
+	}
+	for _, id := range rms.IDs() {
+		if _, err := fmt.Fprintf(w, "  %-8s %s\n", id, id.Describe()); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -83,6 +83,7 @@ func (e *Estimator) flush() {
 		return
 	}
 	var batch []statusItem
+	//lint:orderindependent the digest is re-sorted by sortStatusItems below, so buffer iteration order never reaches the broadcast
 	for cluster, items := range e.buffer {
 		batch = append(batch, items...)
 		delete(e.buffer, cluster)

@@ -2,7 +2,7 @@ package grid
 
 import (
 	"fmt"
-	"sync"
+	"sync" //lint:allow nokernelgoroutines the mutex guards the cross-run substrate memo shared by parallel tuner workers; substrates are immutable once built and carry no sim-time state
 
 	"rmscale/internal/routing"
 	"rmscale/internal/sim"

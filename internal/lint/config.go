@@ -1,0 +1,100 @@
+package lint
+
+// Config is the single data-driven description of where each
+// invariant applies. Everything the suite knows about the module —
+// which packages are simulation-visible, which form the deterministic
+// kernel, what the RMS-model enum is called and which constants it
+// must always cover — lives here, so extending the module means
+// editing one literal, and the config meta-test keeps the lists
+// honest against the packages that actually exist.
+type Config struct {
+	// SimVisible lists the packages whose behaviour is visible inside
+	// a simulation run: virtual time only (nowallclock) and named RNG
+	// streams only (noglobalrand). Wall-clock reads or global RNG
+	// draws here would break byte-identical reproducibility.
+	SimVisible []string
+
+	// Kernel lists the deterministic-kernel packages where goroutines,
+	// channels and sync primitives are banned (nokernelgoroutines):
+	// concurrency belongs to internal/runner, which parallelizes whole
+	// single-threaded simulations.
+	Kernel []string
+
+	// MapOrder lists the packages checked for order-dependent map
+	// iteration (mapiterorder). "rmscale/..." style entries apply the
+	// analyzer to a whole subtree.
+	MapOrder []string
+
+	// Exhaustive lists the packages whose switches over the RMS-model
+	// enum must cover every model (rmsexhaustive).
+	Exhaustive []string
+
+	// EnumPkg, EnumType and EnumConstants describe the RMS-model enum:
+	// switches over EnumPkg.EnumType must either cover every constant
+	// named in EnumConstants or carry a panicking default.
+	EnumPkg       string
+	EnumType      string
+	EnumConstants []string
+}
+
+// DefaultConfig is the module's invariant map.
+var DefaultConfig = Config{
+	SimVisible: []string{
+		"rmscale/internal/sim",
+		"rmscale/internal/grid",
+		"rmscale/internal/rms",
+		"rmscale/internal/routing",
+		"rmscale/internal/scale",
+		"rmscale/internal/anneal",
+		"rmscale/internal/workload",
+		"rmscale/internal/topology",
+		"rmscale/internal/experiments",
+		"rmscale/internal/stats",
+	},
+	Kernel: []string{
+		"rmscale/internal/sim",
+		"rmscale/internal/grid",
+		"rmscale/internal/rms",
+		"rmscale/internal/routing",
+		"rmscale/internal/scale",
+		"rmscale/internal/anneal",
+		"rmscale/internal/workload",
+		"rmscale/internal/topology",
+		"rmscale/internal/stats",
+	},
+	// Map-iteration order can leak into any rendered table, figure,
+	// JSON file or checkpoint, so the whole module is covered.
+	MapOrder:   []string{"rmscale/..."},
+	Exhaustive: []string{"rmscale/..."},
+
+	EnumPkg:  "rmscale/internal/rms",
+	EnumType: "ID",
+	EnumConstants: []string{
+		"IDCentral", "IDLowest", "IDReserve", "IDAuction",
+		"IDSenderInit", "IDReceiverInit", "IDSymmetric",
+	},
+}
+
+// appliesTo reports whether an entry list covers the package path.
+// An entry "m/..." covers m and everything below it.
+func appliesTo(entries []string, pkgPath string) bool {
+	for _, e := range entries {
+		if e == pkgPath {
+			return true
+		}
+		if root, ok := cutDots(e); ok {
+			if pkgPath == root || len(pkgPath) > len(root) && pkgPath[:len(root)+1] == root+"/" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func cutDots(e string) (string, bool) {
+	const suffix = "/..."
+	if len(e) > len(suffix) && e[len(e)-len(suffix):] == suffix {
+		return e[:len(e)-len(suffix)], true
+	}
+	return "", false
+}

@@ -1,0 +1,118 @@
+package lint_test
+
+import (
+	"go/token"
+	"go/types"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"rmscale/internal/lint"
+	"rmscale/internal/lint/load"
+)
+
+// TestConfigMatchesModule keeps DefaultConfig honest: every concrete
+// package it names must exist in the module (no stale entries rotting
+// as packages move), and the enum it describes must actually declare
+// the constants every switch is required to cover.
+func TestConfigMatchesModule(t *testing.T) {
+	out, err := exec.Command("go", "list", "rmscale/...").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exists := map[string]bool{}
+	for _, p := range strings.Fields(string(out)) {
+		exists[p] = true
+	}
+
+	cfg := lint.DefaultConfig
+	check := func(list []string, name string) {
+		t.Helper()
+		if len(list) == 0 {
+			t.Errorf("config %s is empty", name)
+		}
+		for _, e := range list {
+			if strings.HasSuffix(e, "/...") {
+				root := strings.TrimSuffix(e, "/...")
+				found := exists[root]
+				for p := range exists {
+					if strings.HasPrefix(p, root+"/") {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("config %s entry %q matches no module package", name, e)
+				}
+				continue
+			}
+			if !exists[e] {
+				t.Errorf("config %s entry %q is stale: no such package", name, e)
+			}
+		}
+	}
+	check(cfg.SimVisible, "SimVisible")
+	check(cfg.Kernel, "Kernel")
+	check(cfg.MapOrder, "MapOrder")
+	check(cfg.Exhaustive, "Exhaustive")
+
+	if !exists[cfg.EnumPkg] {
+		t.Fatalf("config EnumPkg %q is stale: no such package", cfg.EnumPkg)
+	}
+	if len(cfg.EnumConstants) != 7 {
+		t.Errorf("the paper evaluates seven models; config lists %d enum constants", len(cfg.EnumConstants))
+	}
+
+	// Type-check the enum package and verify the configured constants
+	// really are constants of the configured type.
+	fset := token.NewFileSet()
+	pkgs, err := load.Module(fset, "../..", cfg.EnumPkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enumPkg *types.Package
+	for _, p := range pkgs {
+		if p.Path == cfg.EnumPkg {
+			enumPkg = p.Pkg
+		}
+	}
+	if enumPkg == nil {
+		t.Fatalf("load.Module did not return %s", cfg.EnumPkg)
+	}
+	tobj := enumPkg.Scope().Lookup(cfg.EnumType)
+	if tobj == nil {
+		t.Fatalf("config EnumType %s.%s does not exist", cfg.EnumPkg, cfg.EnumType)
+	}
+	if _, ok := tobj.(*types.TypeName); !ok {
+		t.Fatalf("%s.%s is not a type", cfg.EnumPkg, cfg.EnumType)
+	}
+	declared := map[string]bool{}
+	for _, name := range enumPkg.Scope().Names() {
+		obj := enumPkg.Scope().Lookup(name)
+		c, ok := obj.(*types.Const)
+		if !ok {
+			continue
+		}
+		if named, ok := types.Unalias(c.Type()).(*types.Named); ok && named.Obj() == tobj {
+			declared[name] = true
+		}
+	}
+	for _, want := range cfg.EnumConstants {
+		if !declared[want] {
+			t.Errorf("config enum constant %q is not declared as a %s.%s constant",
+				want, cfg.EnumPkg, cfg.EnumType)
+		}
+	}
+	// And the reverse: a constant added to the enum must be added to
+	// the config (and therefore to every switch) too.
+	for name := range declared {
+		found := false
+		for _, c := range cfg.EnumConstants {
+			if c == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("enum constant %s.%s is missing from config EnumConstants", cfg.EnumPkg, name)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package lint is rmslint: a suite of analyzers that mechanically
+// enforce the determinism and model-coverage invariants the
+// reproduction's byte-identical results depend on. The isoefficiency
+// numbers and the fault goldens are only meaningful because no
+// wall-clock reads, global RNG draws, map-iteration order or stray
+// goroutines can leak into the event-level grid model; before this
+// package those invariants lived in comments and were caught — after
+// the fact — by golden files. Now they fail the build.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+
+	"rmscale/internal/lint/analysis"
+	"rmscale/internal/lint/load"
+)
+
+// Suite returns the five analyzers in their fixed reporting order.
+func Suite(cfg Config) []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		NoWallClock(),
+		NoGlobalRand(),
+		MapIterOrder(),
+		NoKernelGoroutines(),
+		RMSExhaustive(EnumSpec{
+			PkgPath:   cfg.EnumPkg,
+			TypeName:  cfg.EnumType,
+			Constants: cfg.EnumConstants,
+		}),
+	}
+}
+
+// packagesFor returns the config entry list governing one analyzer.
+func (cfg Config) packagesFor(name string) []string {
+	switch name {
+	case "nowallclock", "noglobalrand":
+		return cfg.SimVisible
+	case "mapiterorder":
+		return cfg.MapOrder
+	case "nokernelgoroutines":
+		return cfg.Kernel
+	case "rmsexhaustive":
+		return cfg.Exhaustive
+	default:
+		panic("lint: unknown analyzer " + name)
+	}
+}
+
+// KnownAnalyzers is the set of names //lint: directives may target.
+func KnownAnalyzers(cfg Config) map[string]bool {
+	known := map[string]bool{}
+	for _, a := range Suite(cfg) {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// RunDir loads the packages matched by patterns in the module rooted
+// at dir, applies the suite per the config, and writes diagnostics to
+// w in go vet's file:line:col format. It returns the number of
+// diagnostics written.
+func RunDir(dir string, patterns []string, cfg Config, w io.Writer) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := load.Module(fset, dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	suite := Suite(cfg)
+	known := KnownAnalyzers(cfg)
+	total := 0
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		for _, a := range suite {
+			if !appliesTo(cfg.packagesFor(a.Name), pkg.Path) {
+				continue
+			}
+			pass := &analysis.Pass{Analyzer: a, Fset: fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
+			if err := a.Run(pass); err != nil {
+				return total, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			diags = append(diags, pass.Diagnostics()...)
+		}
+		if len(diags) == 0 {
+			continue
+		}
+		kept := ApplyDirectives(fset, pkg.Files, known, diags)
+		for _, line := range analysis.Format(fset, kept) {
+			fmt.Fprintln(w, line)
+		}
+		total += len(kept)
+	}
+	return total, nil
+}
+
+// ApplyDirectives filters diagnostics through the files' //lint:
+// markers and appends diagnostics for malformed markers. Shared by
+// the CLI driver and the analysistest harness so fixtures exercise
+// the same suppression path production uses.
+func ApplyDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	sup, bad := parseDirectives(fset, files, known)
+	kept := make([]analysis.Diagnostic, 0, len(diags)+len(bad))
+	for _, d := range diags {
+		if !sup.suppressed(fset, d) {
+			kept = append(kept, d)
+		}
+	}
+	return append(kept, bad...)
+}

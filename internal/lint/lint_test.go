@@ -1,0 +1,131 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"rmscale/internal/lint"
+	"rmscale/internal/lint/analysis"
+	"rmscale/internal/lint/linttest"
+)
+
+func TestNoWallClock(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoWallClock(), "nowallclock")
+}
+
+func TestNoGlobalRand(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoGlobalRand(), "noglobalrand")
+}
+
+func TestMapIterOrder(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MapIterOrder(), "mapiterorder")
+}
+
+func TestNoKernelGoroutines(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoKernelGoroutines(), "nokernelgoroutines")
+}
+
+func TestRMSExhaustive(t *testing.T) {
+	a := lint.RMSExhaustive(lint.EnumSpec{
+		PkgPath:  "modelenum",
+		TypeName: "ID",
+		Constants: []string{
+			"Central", "Lowest", "Reserve", "Auction",
+			"SenderInit", "ReceiverInit", "Symmetric",
+		},
+	})
+	linttest.Run(t, "testdata", a, "modelenum", "rmsexhaustive")
+}
+
+// TestMalformedDirectives checks that broken //lint: markers are
+// themselves reported: an unexplained or mistargeted exception must
+// not silently suppress anything.
+func TestMalformedDirectives(t *testing.T) {
+	const src = `package p
+
+func f() {
+	//lint:allow nowallclock
+	_ = 1
+	//lint:allow bogusanalyzer because reasons
+	_ = 2
+	//lint:frobnicate whatever
+	_ = 3
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := lint.KnownAnalyzers(lint.DefaultConfig)
+	out := lint.ApplyDirectives(fset, []*ast.File{f}, known, nil)
+	if len(out) != 3 {
+		t.Fatalf("got %d directive diagnostics, want 3: %+v", len(out), out)
+	}
+	for _, want := range []string{"needs a reason", "unknown analyzer bogusanalyzer", "unknown //lint: directive frobnicate"} {
+		found := false
+		for _, d := range out {
+			if d.Analyzer == "lintdirective" && strings.Contains(d.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no lintdirective diagnostic mentions %q in %+v", want, out)
+		}
+	}
+}
+
+// TestSuppressionCoversBothAnchors checks that a loop-level
+// //lint:orderindependent directive silences diagnostics reported
+// inside the loop body (via the suppression anchor), which is how the
+// production annotations in grid/estimator.go and runner/report.go
+// work.
+func TestSuppressionAnchor(t *testing.T) {
+	fset := token.NewFileSet()
+	const src = `package p
+
+func f(m map[string]int, out func(string)) {
+	//lint:orderindependent the sink deduplicates
+	for k := range m {
+		out(k)
+	}
+}
+`
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := lint.KnownAnalyzers(lint.DefaultConfig)
+	// A diagnostic inside the loop body (line 6), anchored on the loop
+	// header (line 5), must be suppressed by the directive on line 4.
+	bodyPos := posOnLine(fset, f, 6)
+	loopPos := posOnLine(fset, f, 5)
+	d := analysis.Diagnostic{Pos: bodyPos, SuppressPos: loopPos, Message: "calls out", Analyzer: "mapiterorder"}
+	if out := lint.ApplyDirectives(fset, []*ast.File{f}, known, []analysis.Diagnostic{d}); len(out) != 0 {
+		t.Fatalf("anchored diagnostic not suppressed: %+v", out)
+	}
+	// Without the anchor the body diagnostic survives.
+	d.SuppressPos = token.NoPos
+	if out := lint.ApplyDirectives(fset, []*ast.File{f}, known, []analysis.Diagnostic{d}); len(out) != 1 {
+		t.Fatalf("unanchored diagnostic unexpectedly suppressed")
+	}
+}
+
+// posOnLine returns some token position on the given line.
+func posOnLine(fset *token.FileSet, f *ast.File, line int) token.Pos {
+	var found token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || found != token.NoPos {
+			return false
+		}
+		if fset.Position(n.Pos()).Line == line {
+			found = n.Pos()
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rmscale/internal/lint/analysis"
+)
+
+// MapIterOrder flags `range` over a map whose body lets Go's
+// randomized iteration order escape: appending to an outer slice,
+// accumulating floats or strings (neither is order-associative),
+// calling out to arbitrary functions, or returning a value picked
+// from the iteration. Two shapes are accepted without annotation:
+//
+//   - key-addressed effects (writes into another map, integer
+//     counters, max/min tracking via plain assignment), which are
+//     order-independent by construction; and
+//   - the collect-keys-then-sort idiom, where the loop only appends
+//     to a slice that a later statement in the same block passes to
+//     sort.* or slices.Sort*.
+//
+// Anything else needs `//lint:orderindependent <reason>` on the loop.
+func MapIterOrder() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "mapiterorder",
+		Doc:  "flag order-dependent effects inside range-over-map loops; sort keys first or annotate //lint:orderindependent",
+	}
+	a.Run = func(p *analysis.Pass) error {
+		for _, f := range p.Files {
+			parents := buildParents(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(p, rs, parents)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// buildParents records each node's parent so a range statement can
+// find the block it lives in.
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+func checkMapRange(p *analysis.Pass, rs *ast.RangeStmt, parents map[ast.Node]ast.Node) {
+	// outer reports whether an identifier resolves to something
+	// declared outside the range statement (and outside package scope
+	// for functions — package-level funcs are handled by the call
+	// rule, not the write rule).
+	outerObj := func(id *ast.Ident) types.Object {
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		if obj == nil || obj.Pos() == token.NoPos {
+			return nil
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+			return nil // declared by or inside the loop
+		}
+		return obj
+	}
+
+	report := func(pos token.Pos, format string, args ...any) {
+		p.ReportfAnchored(rs.Pos(), pos, format, args...)
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				checkWrite(p, rs, parents, n, i, lhs, outerObj, report)
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok {
+				if obj := outerObj(id); obj != nil && !orderFreeKind(obj.Type()) {
+					report(n.Pos(), "range over map %s %s, an outer %s; iteration order leaks into the result",
+						n.Tok, id.Name, obj.Type())
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(p, n, report)
+		case *ast.SendStmt:
+			report(n.Pos(), "range over map sends on a channel; delivery order follows map iteration order")
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesVar(p, res, rs.Key) || usesVar(p, res, rs.Value) {
+					report(n.Pos(), "range over map returns an iteration-dependent value; which element wins depends on map order")
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkWrite examines one assignment target inside the loop body.
+func checkWrite(p *analysis.Pass, rs *ast.RangeStmt, parents map[ast.Node]ast.Node,
+	as *ast.AssignStmt, i int, lhs ast.Expr, outerObj func(*ast.Ident) types.Object,
+	report func(token.Pos, string, ...any)) {
+
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		// Index or field writes (m2[k] = v, s.f = v) are
+		// key-addressed or struct-addressed: order-independent.
+		return
+	}
+	obj := outerObj(id)
+	if obj == nil {
+		return
+	}
+	switch {
+	case as.Tok == token.ASSIGN || as.Tok == token.DEFINE:
+		// `x = append(x, ...)` grows an outer slice in iteration
+		// order — unless a later sibling statement sorts it.
+		if len(as.Rhs) == len(as.Lhs) {
+			if call, ok := as.Rhs[i].(*ast.CallExpr); ok && isBuiltin(p, call.Fun, "append") {
+				if !sortedLater(p, rs, parents, obj) {
+					report(as.Pos(),
+						"range over map appends to %s in iteration order; sort it afterwards in this block or range over sorted keys", id.Name)
+				}
+			}
+		}
+		// Other plain assignments (max/min tracking, last-write) are
+		// accepted: the common idioms are order-independent and the
+		// pathological ones are caught by review and goldens.
+	default:
+		// Compound assignment: commutative on integers and bit
+		// patterns, order-dependent on floats and strings.
+		if !orderFreeKind(obj.Type()) || !commutativeOp(as.Tok) {
+			report(as.Pos(), "range over map accumulates into %s (%s) with %s; %s accumulation is iteration-order dependent",
+				id.Name, obj.Type(), as.Tok, obj.Type())
+		}
+	}
+}
+
+// checkCall flags calls that leave the loop: anything that is not a
+// builtin or a type conversion can observe iteration order (writers,
+// loggers, even error construction with the current key).
+func checkCall(p *analysis.Pass, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj := p.Info.Uses[fun]; obj != nil {
+			if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+				return
+			}
+			if _, isType := obj.(*types.TypeName); isType {
+				return
+			}
+		}
+		report(call.Pos(), "range over map calls %s; calls out of a map loop observe iteration order — iterate sorted keys instead", fun.Name)
+	case *ast.SelectorExpr:
+		// In a chain like a.B(x).C(), report only the innermost call;
+		// the outer links add no information.
+		if containsCall(fun.X) {
+			return
+		}
+		report(call.Pos(), "range over map calls %s; calls out of a map loop observe iteration order — iterate sorted keys instead",
+			exprString(fun))
+	case *ast.FuncLit:
+		// An immediately invoked literal is still in-loop code; its
+		// body was already inspected.
+	default:
+		report(call.Pos(), "range over map calls out; calls out of a map loop observe iteration order — iterate sorted keys instead")
+	}
+}
+
+// containsCall reports whether any call expression appears under e.
+func containsCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedLater reports whether a statement after the range loop in the
+// same block sorts the slice obj (sort.* or slices.Sort*).
+func sortedLater(p *analysis.Pass, rs *ast.RangeStmt, parents map[ast.Node]ast.Node, obj types.Object) bool {
+	block, ok := parents[rs].(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	past := false
+	for _, stmt := range block.List {
+		if stmt == ast.Stmt(rs) {
+			past = true
+			continue
+		}
+		if !past {
+			continue
+		}
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, _, ok := p.SelectorOf(call.Fun)
+			if !ok || path != "sort" && path != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := arg.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// orderFreeKind reports whether compound accumulation into this type
+// is order-independent: integers and booleans yes, floats, strings
+// and everything else no.
+func orderFreeKind(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsInteger|types.IsBoolean|types.IsUnsigned) != 0
+}
+
+// commutativeOp reports whether a compound-assign token commutes.
+func commutativeOp(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// usesVar reports whether expr references the range variable v.
+func usesVar(p *analysis.Pass, expr, v ast.Expr) bool {
+	vid, ok := v.(*ast.Ident)
+	if !ok || vid.Name == "_" {
+		return false
+	}
+	vobj := p.Info.Defs[vid]
+	if vobj == nil {
+		vobj = p.Info.Uses[vid]
+	}
+	if vobj == nil {
+		return false
+	}
+	used := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == vobj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+func isBuiltin(p *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	_, isB := obj.(*types.Builtin)
+	return isB
+}
+
+// exprString renders a selector chain for messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "expr"
+}

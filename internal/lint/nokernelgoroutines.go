@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+
+	"rmscale/internal/lint/analysis"
+)
+
+// NoKernelGoroutines forbids concurrency in the deterministic kernel
+// packages: no goroutines, no channels, no sync primitives. The event
+// loop owns all interleaving; parallelism lives one layer up, in
+// internal/runner, which runs whole single-threaded simulations side
+// by side. A mutex inside the kernel is either dead weight or a sign
+// that sim-time state is being shared across goroutines — both are
+// bugs here.
+func NoKernelGoroutines() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "nokernelgoroutines",
+		Doc:  "forbid go statements, channels and sync imports in deterministic-kernel packages; concurrency belongs to internal/runner",
+	}
+	a.Run = func(p *analysis.Pass) error {
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "sync" || path == "sync/atomic" {
+					p.Reportf(imp.Pos(),
+						"kernel package imports %q; the deterministic kernel is single-threaded — move concurrency to internal/runner", path)
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					p.Reportf(n.Pos(), "go statement in a deterministic-kernel package; the event loop owns all interleaving")
+				case *ast.SelectStmt:
+					p.Reportf(n.Pos(), "select statement in a deterministic-kernel package")
+				case *ast.SendStmt:
+					p.Reportf(n.Pos(), "channel send in a deterministic-kernel package")
+				case *ast.ChanType:
+					p.Reportf(n.Pos(), "channel type in a deterministic-kernel package; kernel code communicates through the event queue")
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

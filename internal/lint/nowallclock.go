@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+
+	"rmscale/internal/lint/analysis"
+)
+
+// wallClockNames are the package time identifiers that read the real
+// clock or arm real timers. Types, constants and pure-arithmetic
+// helpers (Duration, Unix, Date construction from literals) are fine;
+// anything that observes "now" or schedules against it is not.
+var wallClockNames = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NoWallClock forbids wall-clock reads in simulation-visible
+// packages: virtual time must come from the kernel (sim.Kernel.Now),
+// never from package time, or identical seeds stop producing
+// identical runs.
+func NoWallClock() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "nowallclock",
+		Doc:  "forbid time.Now/Since/Sleep and timer construction in sim-visible packages; virtual time comes from the kernel",
+	}
+	a.Run = func(p *analysis.Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				// Matching the selector rather than a call also
+				// catches indirection like f := time.Now; f().
+				path, name, ok := p.SelectorOf(sel)
+				if ok && path == "time" && wallClockNames[name] {
+					p.Reportf(sel.Pos(),
+						"time.%s reads the wall clock; sim-visible code must take virtual time from the simulation kernel", name)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"rmscale/internal/lint/analysis"
+)
+
+// EnumSpec names an enum type and the constants every switch over it
+// must cover.
+type EnumSpec struct {
+	PkgPath   string   // e.g. "rmscale/internal/rms"
+	TypeName  string   // e.g. "ID"
+	Constants []string // constant identifiers declared in PkgPath
+}
+
+// RMSExhaustive checks that every switch over the RMS-model enum
+// either covers all seven paper models or carries a default that
+// panics. Without this, adding a model compiles everywhere and then
+// silently no-ops in whichever dispatch, failover or rendering switch
+// forgot it — the worst possible failure mode for a scalability
+// comparison that claims to cover the full roster.
+func RMSExhaustive(spec EnumSpec) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "rmsexhaustive",
+		Doc:  "switches over the RMS-model enum must cover every model or panic in default",
+	}
+	a.Run = func(p *analysis.Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				t := p.TypeOf(sw.Tag)
+				if t == nil || !isEnumType(t, spec) {
+					return true
+				}
+				checkEnumSwitch(p, sw, spec)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func isEnumType(t types.Type, spec EnumSpec) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == spec.TypeName &&
+		obj.Pkg() != nil && obj.Pkg().Path() == spec.PkgPath
+}
+
+func checkEnumSwitch(p *analysis.Pass, sw *ast.SwitchStmt, spec EnumSpec) {
+	covered := map[string]bool{}
+	hasDefault := false
+	defaultPanics := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			defaultPanics = bodyPanics(cc.Body)
+			continue
+		}
+		for _, e := range cc.List {
+			if name, ok := constName(p, e, spec); ok {
+				covered[name] = true
+			}
+		}
+	}
+	var missing []string
+	for _, c := range spec.Constants {
+		if !covered[c] {
+			missing = append(missing, c)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if hasDefault && defaultPanics {
+		return
+	}
+	if hasDefault {
+		p.Reportf(sw.Pos(),
+			"switch over %s.%s misses %s and its default does not panic; cover every model or make the default panic",
+			spec.PkgPath, spec.TypeName, strings.Join(missing, ", "))
+		return
+	}
+	p.Reportf(sw.Pos(),
+		"switch over %s.%s misses %s; cover every model or add a panicking default",
+		spec.PkgPath, spec.TypeName, strings.Join(missing, ", "))
+}
+
+// constName resolves a case expression to a constant of the enum's
+// package, returning its identifier name.
+func constName(p *analysis.Pass, e ast.Expr, spec EnumSpec) (string, bool) {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	obj := p.Info.Uses[id]
+	c, ok := obj.(*types.Const)
+	if !ok || c.Pkg() == nil || c.Pkg().Path() != spec.PkgPath {
+		return "", false
+	}
+	return c.Name(), true
+}
+
+// bodyPanics reports whether the clause body contains a top-level
+// panic call (possibly behind trivial statements), which is what
+// makes a non-exhaustive switch fail loudly instead of no-opping.
+func bodyPanics(body []ast.Stmt) bool {
+	for _, stmt := range body {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			return true
+		}
+	}
+	return false
+}

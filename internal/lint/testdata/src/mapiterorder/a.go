@@ -1,0 +1,108 @@
+// Package mapiterorder seeds order-dependent map loops for the
+// analyzer's analysistest case. Never built by the module.
+package mapiterorder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func appendUnsorted(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // want "appends to ks in iteration order"
+	}
+	return ks
+}
+
+func appendThenSort(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // sorted below: accepted
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func callsOut(m map[string]int, out func(string)) {
+	for k := range m {
+		out(k) // want "calls out"
+	}
+}
+
+func printsOut(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "calls fmt.Println"
+	}
+}
+
+func annotated(m map[string]int, out func(string)) {
+	//lint:orderindependent fixture: the sink is an order-insensitive set recorder
+	for k := range m {
+		out(k)
+	}
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "accumulates into sum"
+	}
+	return sum
+}
+
+func intAccumAllowed(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v // commutative integer accumulation: accepted
+		n++
+	}
+	return n
+}
+
+func floatIncDec(m map[string]float64) float64 {
+	var n float64
+	for range m {
+		n++ // want "iteration order leaks"
+	}
+	return n
+}
+
+func mapWriteAllowed(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k // key-addressed: accepted
+	}
+	return inv
+}
+
+func maxTrackingAllowed(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v // plain assignment (max tracking): accepted
+		}
+	}
+	return best
+}
+
+func returnDependent(m map[string]int) string {
+	for k := range m {
+		return k // want "returns an iteration-dependent value"
+	}
+	return ""
+}
+
+func clearAllowed(m map[string]int) {
+	for k := range m {
+		delete(m, k) // builtin on the same map: accepted
+	}
+}
+
+func conversionAllowed(m map[int]int) int64 {
+	var last int64
+	for k := range m {
+		last = int64(k) // conversion, plain assignment: accepted
+	}
+	return last
+}

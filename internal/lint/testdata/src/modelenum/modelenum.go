@@ -1,0 +1,17 @@
+// Package modelenum is the fixture stand-in for rmscale/internal/rms:
+// a seven-constant model enum the rmsexhaustive fixture switches
+// over.
+package modelenum
+
+// ID mirrors the shape of rms.ID.
+type ID int
+
+const (
+	Central ID = iota
+	Lowest
+	Reserve
+	Auction
+	SenderInit
+	ReceiverInit
+	Symmetric
+)

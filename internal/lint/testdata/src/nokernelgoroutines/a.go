@@ -1,0 +1,16 @@
+// Package nokernelgoroutines seeds concurrency violations for the
+// analyzer's analysistest case. Never built by the module.
+package nokernelgoroutines
+
+import "sync" // want "kernel package imports \"sync\""
+
+func violations() {
+	var mu sync.Mutex
+	mu.Lock()
+	go violations() // want "go statement in a deterministic-kernel package"
+	ch := make(chan int) // want "channel type in a deterministic-kernel package"
+	ch <- 1              // want "channel send in a deterministic-kernel package"
+	select {             // want "select statement in a deterministic-kernel package"
+	default:
+	}
+}

@@ -1,0 +1,10 @@
+package nokernelgoroutines
+
+import sync2 "sync" //lint:allow nokernelgoroutines fixture stand-in for a justified cross-run cache mutex
+
+// cache shows the annotated-import escape hatch: the one sync import
+// this file declares is covered by the directive above.
+type cache struct {
+	mu sync2.Mutex
+	m  map[string]int
+}

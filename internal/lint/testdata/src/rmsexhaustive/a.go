@@ -1,0 +1,61 @@
+// Package rmsexhaustive seeds model-coverage violations for the
+// analyzer's analysistest case. Never built by the module.
+package rmsexhaustive
+
+import "modelenum"
+
+func covered(id modelenum.ID) string {
+	switch id {
+	case modelenum.Central:
+		return "central"
+	case modelenum.Lowest, modelenum.Reserve, modelenum.Auction:
+		return "pool"
+	case modelenum.SenderInit, modelenum.ReceiverInit, modelenum.Symmetric:
+		return "superscheduler"
+	}
+	return ""
+}
+
+func missingNoDefault(id modelenum.ID) string {
+	switch id { // want "misses Symmetric; cover every model or add a panicking default"
+	case modelenum.Central, modelenum.Lowest, modelenum.Reserve,
+		modelenum.Auction, modelenum.SenderInit, modelenum.ReceiverInit:
+		return "known"
+	}
+	return ""
+}
+
+func missingPanickingDefault(id modelenum.ID) string {
+	switch id { // panicking default: accepted
+	case modelenum.Central:
+		return "central"
+	default:
+		panic("unknown model")
+	}
+}
+
+func missingSoftDefault(id modelenum.ID) string {
+	switch id { // want "misses Lowest, Reserve, Auction, SenderInit, ReceiverInit, Symmetric and its default does not panic"
+	case modelenum.Central:
+		return "central"
+	default:
+		return "other" // silently no-ops for new models
+	}
+}
+
+func otherSwitchIgnored(n int) string {
+	switch n { // not the model enum: ignored
+	case 1:
+		return "one"
+	}
+	return ""
+}
+
+func initedTagSwitch(ids []modelenum.ID) string {
+	switch id := ids[0]; id { // want "misses Central"
+	case modelenum.Lowest, modelenum.Reserve, modelenum.Auction,
+		modelenum.SenderInit, modelenum.ReceiverInit, modelenum.Symmetric:
+		return "non-central"
+	}
+	return ""
+}

@@ -23,15 +23,12 @@ import (
 
 // All returns fresh instances of every model, in the paper's order.
 func All() []grid.Policy {
-	return []grid.Policy{
-		NewCentral(),
-		NewLowest(),
-		NewReserve(),
-		NewAuction(),
-		NewSenderInitiated(),
-		NewReceiverInitiated(),
-		NewSymmetric(),
+	ids := IDs()
+	out := make([]grid.Policy, len(ids))
+	for i, id := range ids {
+		out[i] = New(id)
 	}
+	return out
 }
 
 // Names lists the model names in the paper's order.
@@ -53,7 +50,10 @@ func Extensions() []grid.Policy {
 // ByName returns a fresh instance of the named model, searching the
 // paper's roster first and then the extensions.
 func ByName(name string) (grid.Policy, error) {
-	for _, m := range append(All(), Extensions()...) {
+	if id, ok := ParseID(name); ok {
+		return New(id), nil
+	}
+	for _, m := range Extensions() {
 		if m.Name() == name {
 			return m, nil
 		}

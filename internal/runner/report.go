@@ -157,6 +157,7 @@ func (r *Reporter) snapshot(done bool) Snapshot {
 	} else if r.total == r.done {
 		s.ETASec = 0
 	}
+	//lint:orderindependent now.Sub is a pure computation and the worker list is re-sorted by id on the next line
 	for w, since := range r.active {
 		s.Workers = append(s.Workers, WorkerStatus{
 			Worker:   w,

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"sync"
+	"sync" //lint:allow nokernelgoroutines the mutex guards debug-trace buffers a monitoring goroutine may read mid-run; it protects no simulation-visible state
 )
 
 // Tracer collects named simulation events for debugging and for tests
