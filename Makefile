@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench
+.PHONY: check build vet lint test race bench chaos
 
-# The gate CI runs: vet + determinism lint + full test suite + race.
-check: vet lint test race
+# The gate CI runs: vet + determinism lint + full test suite + race +
+# the fixed-seed chaos sweep.
+check: vet lint test race chaos
 
 build:
 	$(GO) build ./...
@@ -27,3 +28,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Fixed-seed chaos sweep: 32 random fault schedules across all RMS
+# models under the runtime invariant auditor. Any violation is
+# replayed, shrunk to a minimal reproducer and fails the target.
+chaos: build
+	$(GO) run ./cmd/rmscale -chaos 32 -seed 1

@@ -32,6 +32,8 @@ import (
 	"io"
 	"os"
 
+	"rmscale/internal/audit"
+	"rmscale/internal/audit/chaos"
 	"rmscale/internal/experiments"
 	"rmscale/internal/grid"
 	"rmscale/internal/rms"
@@ -128,6 +130,63 @@ type (
 	// writes to runstate.json.
 	RunSnapshot = runner.Snapshot
 )
+
+// Robustness layer (the audit subsystem): runtime invariant auditing
+// and the chaos harness that hunts for schedules breaking it.
+type (
+	// AuditMode selects off / record / fail-fast enforcement.
+	AuditMode = audit.Mode
+	// AuditConfig parameterizes an attached auditor.
+	AuditConfig = audit.Config
+	// Auditor checks the engine's conservation laws at runtime.
+	Auditor = audit.Auditor
+	// AuditViolation is one invariant breach observed at a checkpoint.
+	AuditViolation = audit.Violation
+	// ChaosSchedule is one runnable fault scenario (the reproducer
+	// JSON format).
+	ChaosSchedule = chaos.Schedule
+	// ChaosCrash scripts one RMS-node outage.
+	ChaosCrash = chaos.Crash
+	// ChaosWindow scripts one protocol-loss interval.
+	ChaosWindow = chaos.Window
+	// ChaosCorruption scripts one metric falsification (self-test).
+	ChaosCorruption = chaos.Corruption
+	// ChaosReport is the audit outcome of one schedule run.
+	ChaosReport = chaos.Report
+	// ChaosOptions configures a chaos sweep.
+	ChaosOptions = chaos.Options
+	// ChaosFinding is one violating schedule with replay and shrink
+	// evidence.
+	ChaosFinding = chaos.Finding
+	// ChaosResult summarizes a chaos sweep.
+	ChaosResult = chaos.Result
+)
+
+// Audit enforcement modes.
+const (
+	AuditOff      = audit.Off
+	AuditRecord   = audit.Record
+	AuditFailFast = audit.FailFast
+)
+
+// AttachAuditor wires a runtime invariant auditor into an engine. Call
+// it after NewEngine (and any scripted fault injection) and before Run.
+func AttachAuditor(e *Engine, cfg AuditConfig) (*Auditor, error) {
+	return audit.Attach(e, cfg)
+}
+
+// ChaosSweep generates random fault schedules, runs each against an
+// audited engine on the runner pool, replays every violation to
+// confirm deterministic reproduction, and shrinks failing schedules to
+// minimal JSON reproducers.
+func ChaosSweep(opts ChaosOptions) (ChaosResult, error) { return chaos.Sweep(opts) }
+
+// RunChaosSchedule executes one chaos schedule (for example a loaded
+// reproducer) against an audited engine.
+func RunChaosSchedule(s ChaosSchedule) (ChaosReport, error) { return chaos.Run(s) }
+
+// ReadChaosSchedule loads and validates a chaos reproducer file.
+func ReadChaosSchedule(path string) (ChaosSchedule, error) { return chaos.ReadJSON(path) }
 
 // RunCaseSpec runs one experiment case under full execution control.
 func RunCaseSpec(id int, spec RunSpec) (*CaseResult, error) {

@@ -39,10 +39,20 @@
 //	                             (default 200)
 //	-loss F                      with -faults: status update loss
 //	                             probability
+//	-chaos N                     no command: sweep N random fault
+//	                             schedules across all RMS models under
+//	                             the runtime invariant auditor; replay
+//	                             each violation to confirm deterministic
+//	                             reproduction, shrink it to a minimal
+//	                             reproducer (written to -out as JSON)
+//	                             and exit non-zero
+//	-chaos-replay FILE           no command: re-run one chaos reproducer
+//	                             JSON file and report its audit outcome
 //
 // Results are deterministic in -seed: serial, parallel and
 // cache-warm/resumed executions of the same case produce identical
-// tables.
+// tables. A chaos sweep is likewise fully reproducible from
+// (-seed, -chaos N).
 package main
 
 import (
@@ -77,6 +87,8 @@ func run(args []string, out io.Writer) error {
 	mtbf := fs.Float64("mtbf", 0, "with -faults: resource mean time between failures (0 disables)")
 	repair := fs.Float64("repair", 200, "with -faults: resource repair time")
 	loss := fs.Float64("loss", 0, "with -faults: status update loss probability")
+	chaosN := fs.Int("chaos", 0, "sweep this many random fault schedules under the invariant auditor")
+	chaosReplay := fs.String("chaos-replay", "", "re-run one chaos reproducer JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,6 +97,15 @@ func run(args []string, out io.Writer) error {
 	}
 	if (*mtbf != 0 || *loss != 0) && !*faults {
 		return fmt.Errorf("-mtbf and -loss need -faults: they extend the degraded-mode fault load")
+	}
+	if *chaosN > 0 || *chaosReplay != "" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-chaos and -chaos-replay take no command")
+		}
+		if *chaosReplay != "" {
+			return replayChaos(*chaosReplay, out)
+		}
+		return runChaos(*chaosN, *seed, *workers, *outDir, *verbose, out)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need exactly one command: case1, case2, case3, case4, all or tables")
@@ -249,6 +270,66 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// runChaos sweeps n random fault schedules across all RMS models under
+// the runtime invariant auditor, shrinking every violation to a
+// minimal reproducer. Any violation makes the sweep fail, so a CI step
+// invoking it turns invariant drift into a red build.
+func runChaos(n int, seed int64, workers int, outDir string, verbose bool, out io.Writer) error {
+	opts := rmscale.ChaosOptions{
+		Schedules: n,
+		Seed:      seed,
+		Workers:   workers,
+		OutDir:    outDir,
+	}
+	if verbose {
+		opts.Log = os.Stderr
+	}
+	res, err := rmscale.ChaosSweep(opts)
+	if err != nil {
+		return err
+	}
+	if res.Clean() {
+		fmt.Fprintf(out, "chaos: %d schedules swept, no invariant violations\n", res.Ran)
+		return nil
+	}
+	for _, f := range res.Findings {
+		fmt.Fprintf(out, "chaos: %s (%s) violated %v, fingerprint %s, deterministic=%v\n",
+			f.Schedule.Name, f.Schedule.Model, f.Report.Kinds, f.Report.Fingerprint, f.Deterministic)
+		fmt.Fprintf(out, "chaos: shrunk %d -> %d scripted events in %d runs\n",
+			f.Schedule.Events(), f.Shrunk.Events(), f.ShrinkEvals)
+		for _, v := range f.Report.Violations {
+			fmt.Fprintf(out, "  %s\n", v)
+		}
+		if f.File != "" {
+			fmt.Fprintf(out, "chaos: reproducer written to %s\n", f.File)
+		}
+	}
+	return fmt.Errorf("chaos: %d of %d schedules violated runtime invariants", len(res.Findings), res.Ran)
+}
+
+// replayChaos re-runs one reproducer file and reports its audit
+// outcome; a still-violating reproducer exits non-zero.
+func replayChaos(path string, out io.Writer) error {
+	s, err := rmscale.ReadChaosSchedule(path)
+	if err != nil {
+		return err
+	}
+	r, err := rmscale.RunChaosSchedule(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "chaos: %s (%s): %d checks, %d violation(s)\n",
+		s.Name, s.Model, r.Checks, len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(out, "  %s\n", v)
+	}
+	if r.Violating() {
+		fmt.Fprintf(out, "chaos: kinds %v, fingerprint %s\n", r.Kinds, r.Fingerprint)
+		return fmt.Errorf("chaos: %s still violates %v", s.Name, r.Kinds)
+	}
+	return nil
 }
 
 // saveFigure writes one figure as CSV and JSON files named after its

@@ -1,0 +1,202 @@
+package chaos
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rmscale/internal/audit"
+	"rmscale/internal/rms"
+)
+
+// The checked-in corpus of shrunken reproducers must keep violating
+// deterministically: two independent runs of each file produce the
+// identical violation fingerprint.
+func TestCorpusReplayDeterminism(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("corpus has %d reproducers, want >= 3", len(files))
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			s, err := ReadJSON(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !first.Violating() {
+				t.Fatalf("corpus reproducer no longer violates; update or remove it")
+			}
+			second, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Fingerprint == "" || first.Fingerprint != second.Fingerprint {
+				t.Fatalf("replay fingerprints differ: %q vs %q", first.Fingerprint, second.Fingerprint)
+			}
+			if !reflect.DeepEqual(first.Violations, second.Violations) {
+				t.Fatalf("replay violations differ:\n%v\n%v", first.Violations, second.Violations)
+			}
+		})
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := Generate(1, 3)
+	s.Corruptions = []Corruption{{Kind: CorruptPhantomRetry, At: 50}}
+	path := filepath.Join(t.TempDir(), "repro.json")
+	if err := s.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip changed the schedule:\n%+v\n%+v", s, got)
+	}
+	if _, err := ReadJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadJSONValidates(t *testing.T) {
+	s := Generate(1, 0)
+	s.Model = "NOSUCH"
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := s.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(path); err == nil {
+		t.Fatal("schedule with unknown model accepted")
+	}
+}
+
+func TestGenerateIsDeterministicAndCoversModels(t *testing.T) {
+	names := rms.Names()
+	seen := map[string]bool{}
+	for i := 0; i < len(names); i++ {
+		a, b := Generate(42, i), Generate(42, i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Generate(42, %d) not deterministic", i)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("Generate(42, %d) invalid: %v", i, err)
+		}
+		seen[a.Model] = true
+	}
+	if len(seen) != len(names) {
+		t.Fatalf("first %d schedules cover %d models, want all %d", len(names), len(seen), len(names))
+	}
+}
+
+// The tentpole's end-to-end proof: an intentionally seeded violation is
+// detected by the auditor, replays deterministically, and shrinks to a
+// minimal reproducer that still triggers the same check.
+func TestSeededViolationDetectReplayShrink(t *testing.T) {
+	s := Schedule{
+		Name:        "seeded",
+		Model:       "R-I",
+		Seed:        9,
+		Clusters:    3,
+		ClusterSize: 4,
+		Estimators:  1,
+		Horizon:     400,
+		Drain:       200,
+		Util:        0.7,
+		SchedCrashes: []Crash{
+			{Target: 0, At: 50, Repair: 80},
+			{Target: 2, At: 220, Repair: 120},
+		},
+		EstCrashes:  []Crash{{Target: 0, At: 90, Repair: 100}},
+		LossWindows: []Window{{Start: 150, Duration: 60}, {Start: 300, Duration: 40}},
+		Corruptions: []Corruption{{Kind: CorruptNegativeOverhead, At: 250}},
+	}
+	r, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Violating() || !r.HasKind(audit.CheckAccounting) {
+		t.Fatalf("seeded corruption undetected: kinds=%v", r.Kinds)
+	}
+	replay, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Fingerprint != r.Fingerprint {
+		t.Fatalf("replay fingerprint %q != original %q", replay.Fingerprint, r.Fingerprint)
+	}
+	shrunk, sr, evals := Shrink(s, r, 200)
+	if evals == 0 {
+		t.Fatal("shrinker spent no evaluations")
+	}
+	if !sr.HasKind(audit.CheckAccounting) {
+		t.Fatalf("shrunk schedule lost the violation: kinds=%v", sr.Kinds)
+	}
+	// All six fault events are noise; only the corruption is needed.
+	if shrunk.Events() != 1 || len(shrunk.Corruptions) != 1 {
+		t.Fatalf("shrunk to %d events (%+v), want just the corruption", shrunk.Events(), shrunk)
+	}
+	if err := shrunk.Validate(); err != nil {
+		t.Fatalf("shrunk schedule invalid: %v", err)
+	}
+}
+
+// A sweep over fault-only schedules (the CI configuration) must come
+// back clean: scripted crashes and loss windows may degrade the grid
+// but must never break its conservation laws.
+func TestSweepFaultOnlySchedulesAreClean(t *testing.T) {
+	var logbuf bytes.Buffer
+	res, err := Sweep(Options{Schedules: 8, Seed: 5, Workers: 2, Log: &logbuf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ran != 8 {
+		t.Fatalf("ran %d schedules, want 8", res.Ran)
+	}
+	if !res.Clean() {
+		t.Fatalf("fault-only sweep violated invariants:\n%s", logbuf.String())
+	}
+}
+
+func TestSweepRejectsBadOptions(t *testing.T) {
+	if _, err := Sweep(Options{Schedules: 0}); err == nil {
+		t.Fatal("zero schedules accepted")
+	}
+}
+
+func TestValidateRejectsNonsense(t *testing.T) {
+	base := Generate(1, 0)
+	cases := []func(*Schedule){
+		func(s *Schedule) { s.Model = "NOSUCH" },
+		func(s *Schedule) { s.Clusters = 0 },
+		func(s *Schedule) { s.ClusterSize = 0 },
+		func(s *Schedule) { s.Estimators = -1 },
+		func(s *Schedule) { s.Horizon = 0 },
+		func(s *Schedule) { s.Drain = -1 },
+		func(s *Schedule) { s.Util = 0 },
+		func(s *Schedule) { s.Util = 3 },
+		func(s *Schedule) { s.SchedCrashes = []Crash{{Target: -1, At: 10, Repair: 5}} },
+		func(s *Schedule) { s.SchedCrashes = []Crash{{Target: 0, At: 1e9, Repair: 5}} },
+		func(s *Schedule) { s.EstCrashes = []Crash{{Target: 0, At: 10, Repair: 0}} },
+		func(s *Schedule) { s.LossWindows = []Window{{Start: -1, Duration: 5}} },
+		func(s *Schedule) { s.LossWindows = []Window{{Start: 10, Duration: 0}} },
+		func(s *Schedule) { s.Corruptions = []Corruption{{Kind: "nosuch", At: 10}} },
+		func(s *Schedule) { s.Corruptions = []Corruption{{Kind: CorruptPhantomRetry, At: -1}} },
+	}
+	for i, mutate := range cases {
+		s := base.clone()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d: invalid schedule accepted: %+v", i, s)
+		}
+	}
+}

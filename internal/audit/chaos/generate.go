@@ -1,0 +1,52 @@
+package chaos
+
+import (
+	"fmt"
+
+	"rmscale/internal/rms"
+	"rmscale/internal/sim"
+)
+
+// Generate derives the i-th random fault schedule of a sweep rooted at
+// seed. Each schedule draws from its own named stream, so schedule i
+// is identical no matter how many others are generated, and the seven
+// RMS models are covered round-robin before any repeats.
+func Generate(seed int64, i int) Schedule {
+	st := sim.NewSource(seed).Stream(fmt.Sprintf("chaos:%d", i))
+	names := rms.Names()
+	s := Schedule{
+		Name:        fmt.Sprintf("chaos-%d-%03d", seed, i),
+		Model:       names[i%len(names)],
+		Seed:        seed*1009 + int64(i),
+		Clusters:    st.IntRange(2, 4),
+		ClusterSize: st.IntRange(4, 8),
+		Estimators:  st.IntRange(0, 2),
+		Horizon:     800,
+		Drain:       400,
+		Util:        0.7,
+	}
+	// At most one scheduler crash per distinct cluster, so scripted
+	// outage windows never overlap on a target.
+	perm := st.Perm(s.Clusters)
+	for j, n := 0, st.IntRange(0, 2); j < n; j++ {
+		s.SchedCrashes = append(s.SchedCrashes, Crash{
+			Target: perm[j],
+			At:     st.Uniform(0, s.Horizon),
+			Repair: st.Uniform(40, 160),
+		})
+	}
+	if s.Estimators > 0 && st.Bool(0.5) {
+		s.EstCrashes = append(s.EstCrashes, Crash{
+			Target: st.Intn(s.Estimators),
+			At:     st.Uniform(0, s.Horizon),
+			Repair: st.Uniform(40, 160),
+		})
+	}
+	for j, n := 0, st.IntRange(0, 2); j < n; j++ {
+		s.LossWindows = append(s.LossWindows, Window{
+			Start:    st.Uniform(0, s.Horizon),
+			Duration: st.Uniform(20, 100),
+		})
+	}
+	return s
+}

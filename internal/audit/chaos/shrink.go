@@ -1,0 +1,102 @@
+package chaos
+
+// Shrink reduces a violating schedule to a minimal reproducer by
+// classic delta debugging: greedily drop each scripted event, then
+// bisect the surviving outage/loss durations downward, re-running the
+// full audited simulation after every candidate edit and keeping it
+// only when the violation reproduces. "The violation" means any
+// violation of the same check kind as the original's first finding —
+// shrinking may legitimately reorder secondary findings. The process
+// repeats to a fixpoint or until maxEvals runs are spent.
+func Shrink(s Schedule, r Report, maxEvals int) (Schedule, Report, int) {
+	if !r.Violating() || maxEvals <= 0 {
+		return s, r, 0
+	}
+	target := r.Kinds[0]
+	best, bestR := s.clone(), r
+	evals := 0
+	try := func(cand Schedule) bool {
+		if evals >= maxEvals {
+			return false
+		}
+		evals++
+		cr, err := Run(cand)
+		if err != nil || !cr.HasKind(target) {
+			return false
+		}
+		best, bestR = cand, cr
+		return true
+	}
+	for improved := true; improved && evals < maxEvals; {
+		improved = false
+		// Drop passes: remove one scripted event at a time.
+		for i := 0; i < len(best.SchedCrashes); {
+			cand := best.clone()
+			cand.SchedCrashes = append(cand.SchedCrashes[:i], cand.SchedCrashes[i+1:]...)
+			if try(cand) {
+				improved = true
+			} else {
+				i++
+			}
+		}
+		for i := 0; i < len(best.EstCrashes); {
+			cand := best.clone()
+			cand.EstCrashes = append(cand.EstCrashes[:i], cand.EstCrashes[i+1:]...)
+			if try(cand) {
+				improved = true
+			} else {
+				i++
+			}
+		}
+		for i := 0; i < len(best.LossWindows); {
+			cand := best.clone()
+			cand.LossWindows = append(cand.LossWindows[:i], cand.LossWindows[i+1:]...)
+			if try(cand) {
+				improved = true
+			} else {
+				i++
+			}
+		}
+		for i := 0; i < len(best.Corruptions); {
+			cand := best.clone()
+			cand.Corruptions = append(cand.Corruptions[:i], cand.Corruptions[i+1:]...)
+			if try(cand) {
+				improved = true
+			} else {
+				i++
+			}
+		}
+		// Bisect passes: halve surviving outage and loss durations.
+		for i := range best.SchedCrashes {
+			if best.SchedCrashes[i].Repair <= 2 {
+				continue
+			}
+			cand := best.clone()
+			cand.SchedCrashes[i].Repair /= 2
+			if try(cand) {
+				improved = true
+			}
+		}
+		for i := range best.EstCrashes {
+			if best.EstCrashes[i].Repair <= 2 {
+				continue
+			}
+			cand := best.clone()
+			cand.EstCrashes[i].Repair /= 2
+			if try(cand) {
+				improved = true
+			}
+		}
+		for i := range best.LossWindows {
+			if best.LossWindows[i].Duration <= 2 {
+				continue
+			}
+			cand := best.clone()
+			cand.LossWindows[i].Duration /= 2
+			if try(cand) {
+				improved = true
+			}
+		}
+	}
+	return best, bestR, evals
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"rmscale/internal/anneal"
+	"rmscale/internal/audit"
 	"rmscale/internal/grid"
 	"rmscale/internal/rms"
 	"rmscale/internal/runner"
@@ -236,7 +237,20 @@ func simulate(run *runner.Run, substrates *grid.SubstrateCache, fid Fidelity,
 	if err != nil {
 		return simResult{}, err
 	}
+	// Every experiment run self-checks its conservation laws; a
+	// violated invariant is an error, never a silently wrong data
+	// point, and it is detected before the result can enter the cache.
+	aud, err := audit.Attach(e, audit.Config{Mode: audit.Record})
+	if err != nil {
+		return simResult{}, err
+	}
 	sr := simResult{Sum: e.Run(), Overflowed: e.K.Overflowed}
+	if e.K.Stalled {
+		return simResult{}, e.K.Err()
+	}
+	if err := aud.Err(); err != nil {
+		return simResult{}, err
+	}
 	if b, err := encodeCached(sr); err == nil {
 		if err := run.Cache.Put(key, b); err != nil {
 			return simResult{}, err

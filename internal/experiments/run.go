@@ -46,6 +46,21 @@ func (s RunSpec) fingerprint() string {
 	return fmt.Sprintf("rmscale/v1 fid=%s seed=%d", s.Fidelity, s.Seed)
 }
 
+// Validate reports the first nonsensical execution parameter. Every
+// Run*Spec entry point validates up front, so a bad spec fails before
+// any journal or cache state is touched.
+func (s RunSpec) Validate() error {
+	switch s.Fidelity {
+	case Smoke, Quick, Full:
+	default:
+		return fmt.Errorf("experiments: unknown fidelity %d", int(s.Fidelity))
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("experiments: negative Workers %d", s.Workers)
+	}
+	return nil
+}
+
 // caseByID maps a case number to its definition.
 func caseByID(id int, fid Fidelity) (caseDef, error) {
 	switch id {
@@ -82,8 +97,18 @@ func RunAllSpec(spec RunSpec) ([]*Result, error) {
 // per RMS model onto the submitting worker's deque; sibling workers
 // steal the models as they go idle.
 func RunCasesSpec(ids []int, spec RunSpec) ([]*Result, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("experiments: no cases given")
+	}
+	seen := make(map[int]bool, len(ids))
 	defs := make([]caseDef, len(ids))
 	for i, id := range ids {
+		if seen[id] {
+			// Duplicate IDs would share journal point IDs and silently
+			// overwrite each other's results.
+			return nil, fmt.Errorf("experiments: duplicate case %d", id)
+		}
+		seen[id] = true
 		def, err := caseByID(id, spec.Fidelity)
 		if err != nil {
 			return nil, err
@@ -96,6 +121,9 @@ func RunCasesSpec(ids []int, spec RunSpec) ([]*Result, error) {
 // runDefs executes arbitrary case definitions (including variant-tagged
 // ones, as the churn experiment submits) on one shared pool.
 func runDefs(defs []caseDef, spec RunSpec) ([]*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	run, err := runner.Start(runner.Options{
 		Workers:     spec.Workers,
 		Dir:         spec.Dir,

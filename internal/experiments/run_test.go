@@ -197,3 +197,31 @@ func TestRunCaseSpecUnknownCase(t *testing.T) {
 		t.Fatal("unknown case accepted")
 	}
 }
+
+func TestRunSpecValidation(t *testing.T) {
+	if err := (RunSpec{Fidelity: Smoke}).Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if err := (RunSpec{Fidelity: Fidelity(99)}).Validate(); err == nil {
+		t.Fatal("unknown fidelity accepted")
+	}
+	if err := (RunSpec{Fidelity: Smoke, Workers: -1}).Validate(); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+	// The Run*Spec entry points must fail before touching any journal
+	// or cache state.
+	if _, err := RunCaseSpec(1, RunSpec{Fidelity: Fidelity(99), Seed: 1}); err == nil {
+		t.Fatal("RunCaseSpec ran with an unknown fidelity")
+	}
+}
+
+func TestRunCasesSpecRejectsDuplicatesAndEmpty(t *testing.T) {
+	if _, err := RunCasesSpec(nil, RunSpec{Fidelity: Smoke, Seed: 1}); err == nil {
+		t.Fatal("empty case list accepted")
+	}
+	// Duplicate IDs would share journal point IDs and silently overwrite
+	// each other's results.
+	if _, err := RunCasesSpec([]int{1, 2, 1}, RunSpec{Fidelity: Smoke, Seed: 1}); err == nil {
+		t.Fatal("duplicate case IDs accepted")
+	}
+}

@@ -378,6 +378,10 @@ type Config struct {
 	// MaxEvents guards against runaway runs; zero means the engine
 	// default of 50 million events.
 	MaxEvents uint64
+	// StallEvents arms the kernel's no-progress watchdog: a run aborts
+	// if this many consecutive events execute without the clock
+	// advancing. Zero means the engine default of one million.
+	StallEvents uint64
 }
 
 // DefaultConfig returns the base (scale k=1) configuration of the Case 1

@@ -98,6 +98,7 @@ func (e *Engine) startWithDeps() {
 // starts tracking which scheduler is responsible for the job.
 func (e *Engine) admitJob(j *workload.Job) {
 	s := e.Schedulers[j.Cluster]
+	e.Metrics.JobsAdmitted++
 	e.Tracer.Tracef("arrival", "job %d at cluster %d (%v)", j.ID, j.Cluster, j.Class)
 	ctx := &JobCtx{Job: j, Origin: j.Cluster}
 	if e.fs != nil {

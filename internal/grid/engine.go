@@ -11,8 +11,14 @@ import (
 
 const (
 	defaultMaxEvents = 50_000_000
-	maxJobAttempts   = 4
-	maxJobHops       = 3
+	// defaultStallEvents trips the kernel's no-progress watchdog after
+	// this many consecutive events at one timestamp. No legitimate
+	// configuration concentrates a million events on a single instant
+	// (whole runs process a few million over thousands of time units),
+	// so tripping it always indicates a zero-delay event cycle.
+	defaultStallEvents = 1_000_000
+	maxJobAttempts     = 4
+	maxJobHops         = 3
 )
 
 // Engine wires topology, routing, workload, entities and a Policy into
@@ -33,6 +39,12 @@ type Engine struct {
 	// dispatches, transfers, updates) for debugging and tests. Nil is
 	// free.
 	Tracer *sim.Tracer
+
+	// AuditHook, when set before Run, fires once after the event loop
+	// finishes and before the summary is derived. internal/audit claims
+	// it for the final drain-time invariant check; it is a generic hook
+	// so grid never imports the auditor.
+	AuditHook func()
 
 	policy Policy
 	jobs   []*workload.Job
@@ -83,6 +95,10 @@ func NewWith(cfg Config, p Policy, sub *Substrate) (*Engine, error) {
 	e.K.MaxEvents = cfg.MaxEvents
 	if e.K.MaxEvents == 0 {
 		e.K.MaxEvents = defaultMaxEvents
+	}
+	e.K.StallEvents = cfg.StallEvents
+	if e.K.StallEvents == 0 {
+		e.K.StallEvents = defaultStallEvents
 	}
 
 	if sub == nil {
@@ -291,6 +307,9 @@ func (e *Engine) Run() Summary {
 	window := e.Cfg.Horizon + e.Cfg.Drain
 	e.K.Run(window)
 	e.unfinished += e.Metrics.JobsArrived - e.Metrics.JobsCompleted - e.Metrics.JobsLost
+	if e.AuditHook != nil {
+		e.AuditHook()
+	}
 	return e.Metrics.Summarize(window)
 }
 

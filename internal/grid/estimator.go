@@ -64,6 +64,15 @@ func (e *Estimator) exec(cost float64, fn func()) {
 	})
 }
 
+// QueueDelay reports how far behind the estimator's CPU currently is.
+func (e *Estimator) QueueDelay() sim.Time {
+	d := e.busyUntil - e.eng.K.Now()
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
 // receive ingests one resource update.
 func (e *Estimator) receive(rid int, load float64, at sim.Time) {
 	e.exec(e.eng.Cfg.Costs.EstimatorPer, func() {

@@ -23,6 +23,28 @@ type faultState struct {
 	est     *sim.Stream // estimator crash gaps
 	msg     *sim.Stream // per-message loss draws
 	outages *routing.Outages
+
+	// lossWindows holds scripted [start, end) intervals during which
+	// every protocol message is lost, independent of the random loss
+	// draw (see script.go). Empty outside chaos runs.
+	lossWindows []lossWindow
+	// scripted marks that explicit fault injections were registered, so
+	// the auditor knows fault counters may legitimately be non-zero even
+	// when the random FaultModel is all-zero.
+	scripted bool
+}
+
+// lossWindow is one scripted total-loss interval.
+type lossWindow struct{ start, end sim.Time }
+
+// scriptedLoss reports whether a scripted loss window covers t.
+func (fs *faultState) scriptedLoss(t sim.Time) bool {
+	for _, w := range fs.lossWindows {
+		if t >= w.start && t < w.end {
+			return true
+		}
+	}
+	return false
 }
 
 // setupFaults arms the protocol-fault machinery: dedicated streams plus
@@ -60,7 +82,7 @@ func (e *Engine) armSchedulerCrash(s *Scheduler) {
 		return
 	}
 	e.K.After(gap, func() {
-		e.crashScheduler(s)
+		e.crashScheduler(s, e.Cfg.Faults.SchedulerRepair)
 		e.K.After(e.Cfg.Faults.SchedulerRepair, func() {
 			e.repairScheduler(s)
 			e.armSchedulerCrash(s)
@@ -68,17 +90,19 @@ func (e *Engine) armSchedulerCrash(s *Scheduler) {
 	})
 }
 
-// crashScheduler takes the scheduler down: queued CPU work is destroyed
-// (the epoch bump invalidates every closure its Exec chain holds) and
-// the jobs it is responsible for fail over to a live peer.
-func (e *Engine) crashScheduler(s *Scheduler) {
+// crashScheduler takes the scheduler down for the given repair
+// duration: queued CPU work is destroyed (the epoch bump invalidates
+// every closure its Exec chain holds) and the jobs it is responsible
+// for fail over to a live peer. The repair duration is a parameter so
+// scripted crashes (script.go) account their actual downtime.
+func (e *Engine) crashScheduler(s *Scheduler, repair sim.Time) {
 	if s.down {
 		return
 	}
 	s.down = true
 	s.epoch++
 	e.Metrics.SchedulerCrashes++
-	e.Metrics.SchedulerDowntime += e.Cfg.Faults.SchedulerRepair
+	e.Metrics.SchedulerDowntime += repair
 	e.Tracer.Tracef("fault", "scheduler %d crashed", s.cluster)
 	e.rehomeOwned(s)
 }
@@ -163,7 +187,7 @@ func (e *Engine) armEstimatorCrash(est *Estimator) {
 		return
 	}
 	e.K.After(gap, func() {
-		e.crashEstimator(est)
+		e.crashEstimator(est, e.Cfg.Faults.EstimatorRepair)
 		e.K.After(e.Cfg.Faults.EstimatorRepair, func() {
 			e.repairEstimator(est)
 			e.armEstimatorCrash(est)
@@ -174,7 +198,7 @@ func (e *Engine) armEstimatorCrash(est *Estimator) {
 // crashEstimator takes the estimator down, destroying its buffered
 // status and queued CPU work. Its resources fall back to direct
 // scheduler updates until the repair (see sendStatusUpdate).
-func (e *Engine) crashEstimator(est *Estimator) {
+func (e *Engine) crashEstimator(est *Estimator, repair sim.Time) {
 	if est.down {
 		return
 	}
@@ -182,7 +206,7 @@ func (e *Engine) crashEstimator(est *Estimator) {
 	est.epoch++
 	est.buffer = make(map[int][]statusItem)
 	e.Metrics.EstimatorCrashes++
-	e.Metrics.EstimatorDowntime += e.Cfg.Faults.EstimatorRepair
+	e.Metrics.EstimatorDowntime += repair
 	e.Tracer.Tracef("fault", "estimator %d crashed", est.id)
 }
 
@@ -201,6 +225,9 @@ func (e *Engine) repairEstimator(est *Estimator) {
 func (e *Engine) protoSend(fromNode int, dst *Scheduler, net sim.Time, attempt int, deliver, abandon func()) {
 	f := e.Cfg.Faults
 	lost := e.fs.outages.SeveredPath(fromNode, dst.node, e.K.Now())
+	if !lost && e.fs.scriptedLoss(e.K.Now()) {
+		lost = true
+	}
 	if !lost && f.MsgLossProb > 0 && e.fs.msg.Bool(f.MsgLossProb) {
 		lost = true
 	}
@@ -273,6 +300,14 @@ func (s *Scheduler) disown(ctx *JobCtx) bool {
 
 // Down reports whether the scheduler is crashed.
 func (s *Scheduler) Down() bool { return s.down }
+
+// ParkedCount reports how many jobs are currently parked on the
+// scheduler waiting out its downtime.
+func (s *Scheduler) ParkedCount() int { return len(s.parked) }
+
+// OwnedCount reports how many jobs the scheduler is currently
+// responsible for (always 0 without armed protocol faults).
+func (s *Scheduler) OwnedCount() int { return len(s.owned) }
 
 // Down reports whether the estimator is crashed.
 func (e *Estimator) Down() bool { return e.down }

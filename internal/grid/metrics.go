@@ -23,7 +23,12 @@ type Metrics struct {
 	// deadline; tracked separately (the paper folds neither into F).
 	WastedWork float64
 
-	JobsArrived   int
+	JobsArrived int
+	// JobsAdmitted counts jobs that actually entered scheduling: arrived
+	// jobs minus those still held on precedence constraints at cutoff.
+	// The auditor's conservation law is completed + lost <= admitted <=
+	// arrived at every checkpoint.
+	JobsAdmitted  int
 	JobsCompleted int
 	JobsSucceeded int
 	JobsLost      int // destroyed by resource crashes
@@ -74,6 +79,12 @@ type Metrics struct {
 	// reached: the sharpest saturation signal, since averages dilute
 	// transient overload over the drain window.
 	MaxSchedDelay float64
+
+	// AuditChecks counts invariant checkpoints an attached auditor ran;
+	// AuditViolations holds its findings verbatim. Both stay zero/nil
+	// without an auditor (see internal/audit).
+	AuditChecks     int
+	AuditViolations []string
 }
 
 // Summary condenses a run into the numbers the scalability metric and
@@ -97,6 +108,14 @@ type Summary struct {
 	MsgsLost  int     // protocol messages lost to faults
 	Retries   int     // protocol retransmissions issued
 	Failovers int     // jobs re-homed off a crashed scheduler
+
+	// Runtime-audit accounting (all zero without an attached auditor).
+	// Summary must stay comparable with ==, so it carries the violation
+	// count and the first finding; the full list lives in
+	// Metrics.AuditViolations.
+	AuditChecks    int
+	Violations     int
+	FirstViolation string
 }
 
 // Summarize derives the summary over an observation window of the given
@@ -142,6 +161,11 @@ func (m *Metrics) Summarize(window sim.Time) Summary {
 	s.MsgsLost = m.MsgsLost
 	s.Retries = m.MsgRetries
 	s.Failovers = m.Failovers
+	s.AuditChecks = m.AuditChecks
+	s.Violations = len(m.AuditViolations)
+	if s.Violations > 0 {
+		s.FirstViolation = m.AuditViolations[0]
+	}
 	return s
 }
 
@@ -156,6 +180,9 @@ func (s Summary) String() string {
 	if s.JobsLost > 0 || s.Crashes > 0 || s.MsgsLost > 0 || s.Retries > 0 || s.Failovers > 0 {
 		out += fmt.Sprintf(" | faults: jobsLost=%d crashes=%d downtime=%.0f msgsLost=%d retries=%d failovers=%d",
 			s.JobsLost, s.Crashes, s.Downtime, s.MsgsLost, s.Retries, s.Failovers)
+	}
+	if s.Violations > 0 {
+		out += fmt.Sprintf(" | AUDIT: %d violation(s), first: %s", s.Violations, s.FirstViolation)
 	}
 	return out
 }

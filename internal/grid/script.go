@@ -1,0 +1,112 @@
+package grid
+
+import (
+	"fmt"
+
+	"rmscale/internal/sim"
+)
+
+// This file is the engine's scripted fault-injection API: explicit
+// crashes and loss windows at exact simulated times, as opposed to the
+// random fault processes FaultModel drives. The chaos harness
+// (internal/audit/chaos) uses it to turn a JSON fault schedule into a
+// deterministic, replayable run. Scripted injections require ArmFaults
+// first and must be registered before Run.
+
+// ArmFaults arms the protocol-fault machinery (ownership tracking,
+// timeout/retry sends, parking) even when the random FaultModel is
+// all-zero, so scripted injections find it in place. It is idempotent
+// and a no-op when the config already armed faults. It must be called
+// before Run.
+func (e *Engine) ArmFaults() error {
+	if e.fs != nil {
+		return nil
+	}
+	if e.K.Processed() != 0 {
+		return fmt.Errorf("grid: ArmFaults after the simulation started")
+	}
+	return e.setupFaults()
+}
+
+// HasFaultScript reports whether any explicit fault injection was
+// registered on the engine. The auditor uses it: with a zero FaultModel
+// and no script, every fault counter must stay zero.
+func (e *Engine) HasFaultScript() bool {
+	return e.fs != nil && e.fs.scripted
+}
+
+// scriptable validates the common preconditions of an injection.
+func (e *Engine) scriptable(at sim.Time) error {
+	if e.fs == nil {
+		return fmt.Errorf("grid: fault injection requires ArmFaults first")
+	}
+	if e.K.Processed() != 0 {
+		return fmt.Errorf("grid: fault injection after the simulation started")
+	}
+	if at < 0 {
+		return fmt.Errorf("grid: fault injection at negative time %v", at)
+	}
+	return nil
+}
+
+// InjectSchedulerCrash scripts a crash of cluster's scheduler at time
+// at, repaired after repair time units. Scripted crash windows on one
+// target must not overlap each other (or the random crash process): a
+// crash landing on an already-down scheduler is skipped, but its repair
+// would then cut a concurrent outage short.
+func (e *Engine) InjectSchedulerCrash(cluster int, at, repair sim.Time) error {
+	if err := e.scriptable(at); err != nil {
+		return err
+	}
+	if cluster < 0 || cluster >= len(e.Schedulers) {
+		return fmt.Errorf("grid: scheduler crash targets cluster %d of %d", cluster, len(e.Schedulers))
+	}
+	if repair <= 0 {
+		return fmt.Errorf("grid: scheduler crash with non-positive repair %v", repair)
+	}
+	e.fs.scripted = true
+	s := e.Schedulers[cluster]
+	e.K.Schedule(at, func() {
+		e.crashScheduler(s, repair)
+		e.K.After(repair, func() { e.repairScheduler(s) })
+	})
+	return nil
+}
+
+// InjectEstimatorCrash scripts a crash of estimator i at time at,
+// repaired after repair time units. The same non-overlap rule as
+// InjectSchedulerCrash applies.
+func (e *Engine) InjectEstimatorCrash(i int, at, repair sim.Time) error {
+	if err := e.scriptable(at); err != nil {
+		return err
+	}
+	if i < 0 || i >= len(e.Estimators) {
+		return fmt.Errorf("grid: estimator crash targets estimator %d of %d", i, len(e.Estimators))
+	}
+	if repair <= 0 {
+		return fmt.Errorf("grid: estimator crash with non-positive repair %v", repair)
+	}
+	e.fs.scripted = true
+	est := e.Estimators[i]
+	e.K.Schedule(at, func() {
+		e.crashEstimator(est, repair)
+		e.K.After(repair, func() { e.repairEstimator(est) })
+	})
+	return nil
+}
+
+// InjectLossWindow scripts a total protocol-message blackout over
+// [start, start+duration): every protoSend during the window is lost
+// and enters the timeout/retry path. Status updates and digests are
+// unaffected (they have no retry protocol to exercise).
+func (e *Engine) InjectLossWindow(start, duration sim.Time) error {
+	if err := e.scriptable(start); err != nil {
+		return err
+	}
+	if duration <= 0 {
+		return fmt.Errorf("grid: loss window with non-positive duration %v", duration)
+	}
+	e.fs.scripted = true
+	e.fs.lossWindows = append(e.fs.lossWindows, lossWindow{start: start, end: start + duration})
+	return nil
+}

@@ -50,6 +50,8 @@ var DefaultConfig = Config{
 		"rmscale/internal/topology",
 		"rmscale/internal/experiments",
 		"rmscale/internal/stats",
+		"rmscale/internal/audit",
+		"rmscale/internal/audit/chaos",
 	},
 	Kernel: []string{
 		"rmscale/internal/sim",
@@ -61,6 +63,10 @@ var DefaultConfig = Config{
 		"rmscale/internal/workload",
 		"rmscale/internal/topology",
 		"rmscale/internal/stats",
+		// The auditor rides inside the simulation, so it is held to the
+		// kernel's no-concurrency discipline; the chaos harness above it
+		// drives the runner pool and is only simulation-visible.
+		"rmscale/internal/audit",
 	},
 	// Map-iteration order can leak into any rendered table, figure,
 	// JSON file or checkpoint, so the whole module is covered.

@@ -52,6 +52,17 @@ type Kernel struct {
 	// Run may process; exceeding it stops the run and sets Overflowed.
 	MaxEvents  uint64
 	Overflowed bool
+
+	// StallEvents, when non-zero, is the no-progress watchdog: if that
+	// many consecutive events execute without the clock advancing, the
+	// run stops and Stalled is set. A model bug that schedules work in
+	// a zero-delay cycle then fails immediately with a precise trigger
+	// instead of spinning to MaxEvents.
+	StallEvents uint64
+	Stalled     bool
+
+	stallAt  Time   // timestamp the current same-time streak runs at
+	stallRun uint64 // events executed at stallAt so far
 }
 
 // NewKernel returns a kernel with the clock at zero.
@@ -124,10 +135,30 @@ func (k *Kernel) Step() bool {
 		}
 		k.now = e.at
 		k.processed++
+		k.noteProgress(e.at)
 		e.fn()
 		return true
 	}
 	return false
+}
+
+// noteProgress feeds the no-progress watchdog: it counts consecutive
+// events executed at the same timestamp and trips Stalled when the
+// streak exceeds StallEvents.
+func (k *Kernel) noteProgress(at Time) {
+	if k.StallEvents == 0 {
+		return
+	}
+	if at != k.stallAt || k.stallRun == 0 {
+		k.stallAt = at
+		k.stallRun = 1
+		return
+	}
+	k.stallRun++
+	if k.stallRun >= k.StallEvents {
+		k.Stalled = true
+		k.stopped = true
+	}
 }
 
 // Run executes events in time order until the future event list is
@@ -152,9 +183,20 @@ func (k *Kernel) Run(until Time) uint64 {
 		}
 		heap.Pop(&k.fel)
 		k.now = next.at
+		k.noteProgress(next.at)
+		if k.Stalled {
+			// Watchdog tripped: leave the offending event pending so a
+			// diagnostic dump (NextEventTimes) still shows the work the
+			// model was spinning on, and do not count it as processed.
+			heap.Push(&k.fel, next)
+			break
+		}
 		k.processed++
 		n++
 		next.fn()
+	}
+	if k.Stalled {
+		return n
 	}
 	if k.now < until && (len(k.fel) == 0 || k.fel[0].at > until) {
 		// Advance the clock to the horizon so rate-style metrics
@@ -170,12 +212,56 @@ func (k *Kernel) RunAll() uint64 {
 	var n uint64
 	for k.Step() {
 		n++
+		if k.Stalled {
+			break
+		}
 		if k.MaxEvents != 0 && k.processed >= k.MaxEvents {
 			k.Overflowed = true
 			break
 		}
 	}
 	return n
+}
+
+// Err reports why the kernel refused to make further progress: a
+// tripped no-progress watchdog or an exceeded MaxEvents budget. It
+// returns nil after a healthy run.
+func (k *Kernel) Err() error {
+	switch {
+	case k.Stalled:
+		return fmt.Errorf("sim: no progress: %d consecutive events at t=%v without the clock advancing (StallEvents=%d)",
+			k.stallRun, k.stallAt, k.StallEvents)
+	case k.Overflowed:
+		return fmt.Errorf("sim: event budget exceeded: %d events processed (MaxEvents=%d)", k.processed, k.MaxEvents)
+	}
+	return nil
+}
+
+// NextEventTimes returns the firing times of up to n earliest pending
+// live events, in order. It is a diagnostic accessor for post-mortem
+// dumps and does not disturb the future event list.
+func (k *Kernel) NextEventTimes(n int) []Time {
+	times := make([]Time, 0, n)
+	for _, e := range k.fel {
+		if !e.canceled {
+			times = append(times, e.at)
+		}
+	}
+	sortTimes(times)
+	if len(times) > n {
+		times = times[:n]
+	}
+	return times
+}
+
+// sortTimes is a small insertion sort; diagnostic-path only, and it
+// keeps the kernel free of a sort import on the hot path.
+func sortTimes(ts []Time) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
 }
 
 // eventHeap implements heap.Interface ordered by (time, sequence).

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// A self-rescheduling zero-delay event is the classic DES livelock: the
+// clock never advances, the FEL never drains. The watchdog must stop
+// the run with a descriptive error instead of spinning to MaxEvents.
+func TestWatchdogStopsZeroDelayLoop(t *testing.T) {
+	k := NewKernel()
+	k.StallEvents = 100
+	var spin func()
+	spin = func() { k.After(0, spin) }
+	k.Schedule(5, spin)
+	n := k.Run(1000)
+	if !k.Stalled {
+		t.Fatal("kernel did not detect the zero-delay loop")
+	}
+	if k.Now() != 5 {
+		t.Fatalf("stalled at t=%v, want 5", k.Now())
+	}
+	// The offending event stays pending (visible to diagnostics) and is
+	// not counted as processed.
+	if k.Pending() == 0 {
+		t.Fatal("stall consumed the pending offender")
+	}
+	if n > 101 {
+		t.Fatalf("processed %d events before stalling, want <= StallEvents+1", n)
+	}
+	err := k.Err()
+	if err == nil {
+		t.Fatal("stalled kernel reports no error")
+	}
+	if !strings.Contains(err.Error(), "no progress") || !strings.Contains(err.Error(), "t=5") {
+		t.Fatalf("unhelpful stall error: %v", err)
+	}
+}
+
+func TestWatchdogToleratesBurstsBelowThreshold(t *testing.T) {
+	k := NewKernel()
+	k.StallEvents = 100
+	fired := 0
+	// 99 simultaneous events at each of several timestamps: legal
+	// same-time bursts, never a stall.
+	for _, at := range []Time{1, 2, 3} {
+		for i := 0; i < 99; i++ {
+			k.Schedule(at, func() { fired++ })
+		}
+	}
+	n := k.Run(10)
+	if k.Stalled {
+		t.Fatal("watchdog tripped on legal same-time bursts")
+	}
+	if n != 297 || fired != 297 {
+		t.Fatalf("processed %d events, fired %d, want 297", n, fired)
+	}
+	if err := k.Err(); err != nil {
+		t.Fatalf("healthy run reports error: %v", err)
+	}
+}
+
+func TestWatchdogDisabledByDefault(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var spin func()
+	spin = func() {
+		count++
+		if count < 5000 {
+			k.After(0, spin)
+		}
+	}
+	k.Schedule(1, spin)
+	k.Run(10)
+	if k.Stalled {
+		t.Fatal("zero StallEvents must disable the watchdog")
+	}
+	if count != 5000 {
+		t.Fatalf("processed %d same-time events, want 5000", count)
+	}
+}
+
+func TestNextEventTimes(t *testing.T) {
+	k := NewKernel()
+	for _, at := range []Time{9, 3, 7, 1, 5} {
+		k.Schedule(at, func() {})
+	}
+	got := k.NextEventTimes(3)
+	want := []Time{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("NextEventTimes(3) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NextEventTimes(3) = %v, want %v", got, want)
+		}
+	}
+	if all := k.NextEventTimes(100); len(all) != 5 {
+		t.Fatalf("NextEventTimes(100) returned %d times, want 5", len(all))
+	}
+}
