@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench chaos
+.PHONY: check build vet lint test race bench benchcheck gobench chaos
 
 # The gate CI runs: vet + determinism lint + full test suite + race +
 # the fixed-seed chaos sweep.
@@ -26,8 +26,25 @@ test: build
 race:
 	$(GO) test -race -short ./...
 
-bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+# Refresh the committed benchmark baseline: run the regression harness
+# (internal/perfbench) and overwrite BENCH_sim.json with its report.
+# Run this after a deliberate performance change (or a Go toolchain
+# bump) and commit the result.
+bench: build
+	$(GO) run ./cmd/rmscale bench > BENCH_sim.json
+	@echo "BENCH_sim.json refreshed"
+
+# Gate the current tree against the committed baseline: simulated event
+# counts must match exactly, allocation metrics may not regress beyond
+# the tolerance. The fresh report lands in bench_current.json (the CI
+# artifact) whether the gate passes or not.
+benchcheck: build
+	$(GO) run ./cmd/rmscale -check BENCH_sim.json bench > bench_current.json
+
+# Raw go test benchmarks (kernel micro-benches and the full figure
+# pipeline) with allocation stats, for interactive profiling.
+gobench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sim .
 
 # Fixed-seed chaos sweep: 32 random fault schedules across all RMS
 # models under the runtime invariant auditor. Any violation is

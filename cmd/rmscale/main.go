@@ -13,6 +13,10 @@
 //	ablation         run the ablation studies (suppression, estimator
 //	                 layer, middleware, tuner, faults)
 //	tables           print Tables 1-5 (the experiment configurations)
+//	bench            run the benchmark-regression harness
+//	                 (internal/perfbench) and print its JSON report;
+//	                 with -check FILE, also gate the report against that
+//	                 committed baseline and exit non-zero on regression
 //
 // Flags:
 //
@@ -65,6 +69,7 @@ import (
 	"strings"
 
 	"rmscale"
+	"rmscale/internal/perfbench"
 )
 
 func main() {
@@ -89,6 +94,8 @@ func run(args []string, out io.Writer) error {
 	loss := fs.Float64("loss", 0, "with -faults: status update loss probability")
 	chaosN := fs.Int("chaos", 0, "sweep this many random fault schedules under the invariant auditor")
 	chaosReplay := fs.String("chaos-replay", "", "re-run one chaos reproducer JSON file")
+	benchBaseline := fs.String("check", "", "with bench: baseline report to gate against")
+	benchTol := fs.Float64("tolerance", 0.10, "with bench -check: allowed relative regression on max-gated metrics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,12 +115,18 @@ func run(args []string, out io.Writer) error {
 		return runChaos(*chaosN, *seed, *workers, *outDir, *verbose, out)
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("need exactly one command: case1, case2, case3, case4, all or tables")
+		return fmt.Errorf("need exactly one command: case1, case2, case3, case4, all, ablation, tables or bench")
 	}
 	cmd := fs.Arg(0)
+	if *benchBaseline != "" && cmd != "bench" {
+		return fmt.Errorf("-check needs the bench command")
+	}
 
 	if cmd == "tables" {
 		return printTables(out)
+	}
+	if cmd == "bench" {
+		return runBench(*benchBaseline, *benchTol, out)
 	}
 
 	fid, err := rmscale.ParseFidelity(*fidelity)
@@ -270,6 +283,44 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// runBench runs the benchmark-regression harness and prints its JSON
+// report. With a baseline it additionally gates the gated metrics
+// (event counts exactly, allocation counts within the tolerance) and
+// fails on any violation — wall-clock metrics are never gated, so the
+// check is stable across machines.
+func runBench(baseline string, tolerance float64, out io.Writer) error {
+	rep, err := perfbench.Run()
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(out); err != nil {
+		return err
+	}
+	if baseline == "" {
+		return nil
+	}
+	f, err := os.Open(baseline)
+	if err != nil {
+		return err
+	}
+	base, err := perfbench.ReadReport(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if bad := perfbench.Compare(base, rep, tolerance); len(bad) > 0 {
+		for _, v := range bad {
+			fmt.Fprintln(os.Stderr, "bench:", v)
+		}
+		if base.Go != rep.Go {
+			fmt.Fprintf(os.Stderr, "bench: note: baseline was recorded with %s, this run uses %s; allocation counts shift across toolchains — refresh the baseline (make bench) if the code is unchanged\n", base.Go, rep.Go)
+		}
+		return fmt.Errorf("bench: %d metric(s) regressed against %s", len(bad), baseline)
+	}
+	fmt.Fprintf(os.Stderr, "bench: all gated metrics within budget of %s\n", baseline)
+	return nil
 }
 
 // runChaos sweeps n random fault schedules across all RMS models under

@@ -259,10 +259,3 @@ func appendFloat(b []byte, v float64) []byte {
 	q := math.Round(v*1e5) / 1e5
 	return append(b, fmt.Sprintf("%g|", q)...)
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -99,7 +99,9 @@ func (e *Engine) startWithDeps() {
 func (e *Engine) admitJob(j *workload.Job) {
 	s := e.Schedulers[j.Cluster]
 	e.Metrics.JobsAdmitted++
-	e.Tracer.Tracef("arrival", "job %d at cluster %d (%v)", j.ID, j.Cluster, j.Class)
+	if e.Tracer.On() {
+		e.Tracer.Tracef("arrival", "job %d at cluster %d (%v)", j.ID, j.Cluster, j.Class)
+	}
 	ctx := &JobCtx{Job: j, Origin: j.Cluster}
 	if e.fs != nil {
 		e.deliverToScheduler(s, ctx)
@@ -116,7 +118,9 @@ func (e *Engine) jobTerminated(jobID int) {
 	for _, w := range e.depsT.terminate(jobID) {
 		w := w
 		if e.K.Now() >= w.Arrival || e.depsT.arrived[w.ID] {
-			e.Tracer.Tracef("release", "job %d released by job %d", w.ID, jobID)
+			if e.Tracer.On() {
+				e.Tracer.Tracef("release", "job %d released by job %d", w.ID, jobID)
+			}
 			e.admitJob(w)
 			continue
 		}

@@ -54,6 +54,11 @@ type Engine struct {
 	mw     *middleware
 	depsT  *depTracker
 
+	// localIdx maps a resource id to its index within its cluster's
+	// resource list — the slot the owning scheduler's dense view array
+	// uses for it (see Scheduler.views).
+	localIdx []int
+
 	unfinished int // jobs dropped or stranded
 }
 
@@ -116,6 +121,12 @@ func NewWith(cfg Config, p Policy, sub *Substrate) (*Engine, error) {
 	e.Net = sub.Net
 
 	// Entities.
+	e.localIdx = make([]int, mp.Resources())
+	for _, rs := range mp.ClusterResources {
+		for i, rid := range rs {
+			e.localIdx[rid] = i
+		}
+	}
 	e.Metrics.SchedulerBusy = make([]float64, cfg.Spec.Clusters)
 	e.Metrics.EstimatorBusy = make([]float64, cfg.Spec.Estimators)
 	for c := 0; c < cfg.Spec.Clusters; c++ {
@@ -123,10 +134,12 @@ func NewWith(cfg Config, p Policy, sub *Substrate) (*Engine, error) {
 			cluster: c,
 			node:    mp.SchedulerNode[c],
 			eng:     e,
-			view:    make(map[int]*resourceView),
+			views:   make([]resourceView, len(mp.ClusterResources[c])),
 			rand:    e.src.Stream(fmt.Sprintf("sched:%d", c)),
 		}
 		s.peers = buildPeers(c, cfg.Spec.Clusters, cfg.Enablers.NeighborhoodSize, s.rand)
+		s.permScratch = make([]int, len(s.peers))
+		s.peerScratch = make([]int, len(s.peers))
 		e.Schedulers = append(e.Schedulers, s)
 	}
 	for r := 0; r < mp.Resources(); r++ {
@@ -142,7 +155,7 @@ func NewWith(cfg Config, p Policy, sub *Substrate) (*Engine, error) {
 			id:     i,
 			node:   mp.EstimatorNode[i],
 			eng:    e,
-			buffer: make(map[int][]statusItem),
+			buffer: make([][]statusItem, cfg.Spec.Clusters),
 		})
 	}
 	if p.UsesMiddleware() {
@@ -352,7 +365,9 @@ func (e *Engine) sendStatusUpdate(r *Resource, load float64) {
 		return
 	}
 	e.Metrics.UpdatesSent++
-	e.Tracer.Tracef("update", "resource %d load %.0f", r.id, load)
+	if e.Tracer.On() {
+		e.Tracer.Tracef("update", "resource %d load %.0f", r.id, load)
+	}
 	at := e.K.Now()
 	if len(e.Estimators) > 0 {
 		est := e.Estimators[r.id%len(e.Estimators)]
@@ -374,7 +389,11 @@ func (e *Engine) sendStatusUpdate(r *Resource, load float64) {
 		c := e.Cfg.Costs
 		s.Exec(c.UpdateBatchBase+c.UpdatePer, func() {
 			s.mergeView(r.id, load, at)
-			e.policy.OnStatus(s, []int{r.id})
+			// oneRid is per-scheduler scratch; Exec retires work FCFS on
+			// one CPU, so the slot is free again by the time the policy
+			// returns and it never escapes the call.
+			s.oneRid[0] = r.id
+			e.policy.OnStatus(s, s.oneRid[:])
 		})
 	})
 }
@@ -384,7 +403,7 @@ func (e *Engine) sendStatusUpdate(r *Resource, load float64) {
 // entries belonging to its own cluster, then sees a policy OnStatus —
 // push models pay their trigger check per digest received, which is
 // what couples their overhead to the estimator count.
-func (e *Engine) broadcastDigest(est *Estimator, items []statusItem) {
+func (e *Engine) broadcastDigest(est *Estimator, d digest) {
 	for _, s := range e.Schedulers {
 		if e.fs != nil && s.down {
 			e.Metrics.UpdatesLost++
@@ -396,21 +415,17 @@ func (e *Engine) broadcastDigest(est *Estimator, items []statusItem) {
 		}
 		e.Metrics.DigestsSent++
 		s := s
-		e.K.After(e.delay(est.node, s.node, e.Cfg.UpdateBytes*float64(len(items))), func() {
-			var own []statusItem
-			for _, it := range items {
-				if e.Map.ResourceCluster[it.rid] == s.cluster {
-					own = append(own, it)
-				}
-			}
+		// The digest is pre-partitioned by cluster (see Estimator.flush),
+		// so a delivery slices its receiver's share out of the shared
+		// snapshot instead of filtering and copying the whole batch.
+		own, rids := d.cluster(s.cluster)
+		e.K.After(e.delay(est.node, s.node, e.Cfg.UpdateBytes*float64(d.total())), func() {
 			c := e.Cfg.Costs
 			s.Exec(c.UpdateBatchBase+c.UpdatePer*float64(len(own)), func() {
-				updated := make([]int, 0, len(own))
-				for _, it := range own {
-					s.mergeView(it.rid, it.load, it.at)
-					updated = append(updated, it.rid)
+				for i := range own {
+					s.mergeView(own[i].rid, own[i].load, own[i].at)
 				}
-				e.policy.OnStatus(s, updated)
+				e.policy.OnStatus(s, rids)
 			})
 		})
 	}
@@ -462,7 +477,9 @@ func (e *Engine) transferJob(from *Scheduler, ctx *JobCtx, to int) {
 	}
 	e.Metrics.JobTransfers++
 	ctx.Hops++
-	e.Tracer.Tracef("transfer", "job %d: cluster %d -> %d", ctx.Job.ID, from.cluster, to)
+	if e.Tracer.On() {
+		e.Tracer.Tracef("transfer", "job %d: cluster %d -> %d", ctx.Job.ID, from.cluster, to)
+	}
 	dst := e.Schedulers[to]
 	net := e.delay(from.node, dst.node, e.Cfg.JobBytes)
 	if e.fs != nil {
@@ -487,7 +504,9 @@ func (e *Engine) transferJob(from *Scheduler, ctx *JobCtx, to int) {
 // sendJobToResource carries a dispatched job to its resource.
 func (e *Engine) sendJobToResource(s *Scheduler, ctx *JobCtx, rid int) {
 	r := e.Resources[rid]
-	e.Tracer.Tracef("dispatch", "job %d -> resource %d", ctx.Job.ID, rid)
+	if e.Tracer.On() {
+		e.Tracer.Tracef("dispatch", "job %d -> resource %d", ctx.Job.ID, rid)
+	}
 	e.K.After(e.delay(s.node, r.node, e.Cfg.JobBytes), func() {
 		r.enqueue(ctx)
 	})

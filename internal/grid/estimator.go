@@ -24,8 +24,10 @@ type Estimator struct {
 
 	busyUntil sim.Time
 	// buffer[cluster] holds updates pending digestion for that
-	// cluster's scheduler.
-	buffer map[int][]statusItem
+	// cluster's scheduler. The slices are retained and reused across
+	// digest cycles, so a steady-state flush allocates only the digest
+	// snapshot it broadcasts.
+	buffer [][]statusItem
 
 	// Fault state (see faults.go): a crash empties the buffer and the
 	// epoch bump destroys queued CPU work.
@@ -81,34 +83,74 @@ func (e *Estimator) receive(rid int, load float64, at sim.Time) {
 	})
 }
 
+// digest is one estimator flush, partitioned by destination cluster:
+// parts[offs[c]:offs[c+1]] are cluster c's items sorted by (rid, time),
+// and rids mirrors parts entry-for-entry so a delivery can hand the
+// policy its OnStatus id list without building one. The whole digest is
+// one immutable snapshot shared by every scheduler's delivery closure;
+// receivers read it, never mutate it.
+type digest struct {
+	parts []statusItem
+	offs  []int
+	rids  []int
+}
+
+// total returns the number of status items across all clusters.
+func (d digest) total() int { return len(d.parts) }
+
+// cluster returns cluster c's partition and the matching resource ids.
+func (d digest) cluster(c int) ([]statusItem, []int) {
+	lo, hi := d.offs[c], d.offs[c+1]
+	return d.parts[lo:hi], d.rids[lo:hi]
+}
+
 // flush distributes the buffered status to the scheduling decision
 // makers: one digest, broadcast to every scheduler, per digest interval
 // (the UpdateInterval enabler). This is the paper's estimator role —
 // "receive the status updates from RP resources and distribute to the
 // scheduling decision makers" — and it is why scaling up the estimator
 // layer multiplies the digest traffic every scheduler must process.
+//
+// The buffered items are snapshotted into one freshly allocated backing
+// array per flush (cluster by cluster, each partition sorted). Fresh,
+// not scratch: the broadcast and the per-scheduler deliveries run at
+// later simulated times, and under estimator saturation a delivery
+// closure can outlive the next flush, so reusing a buffer here would
+// corrupt an in-flight digest. Per-cluster sorting yields exactly the
+// items a global (rid, time) sort would hand each cluster, because a
+// resource id maps to a single cluster.
 func (e *Estimator) flush() {
 	if e.down {
 		return
 	}
-	var batch []statusItem
-	//lint:orderindependent the digest is re-sorted by sortStatusItems below, so buffer iteration order never reaches the broadcast
-	for cluster, items := range e.buffer {
-		batch = append(batch, items...)
-		delete(e.buffer, cluster)
+	total := 0
+	for _, items := range e.buffer {
+		total += len(items)
 	}
-	// Deterministic order regardless of map iteration. An empty batch
-	// is still broadcast: the digest doubles as the dissemination
-	// heartbeat every decision maker consumes, so the layer's traffic
-	// scales with the estimator count, not with the update volume.
-	sortStatusItems(batch)
-	e.exec(e.eng.Cfg.Costs.EstimatorPer*float64(len(batch)), func() {
-		e.eng.broadcastDigest(e, batch)
+	parts := make([]statusItem, 0, total)
+	offs := make([]int, 0, len(e.buffer)+1)
+	for c := range e.buffer {
+		sortStatusItems(e.buffer[c])
+		offs = append(offs, len(parts))
+		parts = append(parts, e.buffer[c]...)
+		e.buffer[c] = e.buffer[c][:0]
+	}
+	offs = append(offs, len(parts))
+	rids := make([]int, len(parts))
+	for i := range parts {
+		rids[i] = parts[i].rid
+	}
+	// An empty digest is still broadcast: it doubles as the
+	// dissemination heartbeat every decision maker consumes, so the
+	// layer's traffic scales with the estimator count, not with the
+	// update volume.
+	e.exec(e.eng.Cfg.Costs.EstimatorPer*float64(total), func() {
+		e.eng.broadcastDigest(e, digest{parts: parts, offs: offs, rids: rids})
 	})
 }
 
-// sortStatusItems orders a digest by (resource id, time) so broadcast
-// content is independent of map iteration order.
+// sortStatusItems orders a digest partition by (resource id, time) so
+// broadcast content is independent of buffering order.
 func sortStatusItems(items []statusItem) {
 	for i := 1; i < len(items); i++ {
 		for j := i; j > 0 && less(items[j], items[j-1]); j-- {

@@ -103,7 +103,9 @@ func (e *Engine) crashScheduler(s *Scheduler, repair sim.Time) {
 	s.epoch++
 	e.Metrics.SchedulerCrashes++
 	e.Metrics.SchedulerDowntime += repair
-	e.Tracer.Tracef("fault", "scheduler %d crashed", s.cluster)
+	if e.Tracer.On() {
+		e.Tracer.Tracef("fault", "scheduler %d crashed", s.cluster)
+	}
 	e.rehomeOwned(s)
 }
 
@@ -111,7 +113,9 @@ func (e *Engine) crashScheduler(s *Scheduler, repair sim.Time) {
 // were parked on it while it was down.
 func (e *Engine) repairScheduler(s *Scheduler) {
 	s.down = false
-	e.Tracer.Tracef("fault", "scheduler %d repaired", s.cluster)
+	if e.Tracer.On() {
+		e.Tracer.Tracef("fault", "scheduler %d repaired", s.cluster)
+	}
 	parked := s.parked
 	s.parked = nil
 	for _, ctx := range parked {
@@ -150,7 +154,9 @@ func (e *Engine) rehomeOwned(s *Scheduler) {
 		// Failover forfeits routing freedom: the job places locally at
 		// its new home instead of re-entering the transfer protocol.
 		ctx.Hops++
-		e.Tracer.Tracef("fault", "job %d fails over: cluster %d -> %d", ctx.Job.ID, s.cluster, dst.cluster)
+		if e.Tracer.On() {
+			e.Tracer.Tracef("fault", "job %d fails over: cluster %d -> %d", ctx.Job.ID, s.cluster, dst.cluster)
+		}
 		e.K.After(detect+e.delay(s.node, dst.node, e.Cfg.JobBytes), func() {
 			e.deliverToScheduler(dst, ctx)
 		})
@@ -204,16 +210,22 @@ func (e *Engine) crashEstimator(est *Estimator, repair sim.Time) {
 	}
 	est.down = true
 	est.epoch++
-	est.buffer = make(map[int][]statusItem)
+	for c := range est.buffer {
+		est.buffer[c] = est.buffer[c][:0]
+	}
 	e.Metrics.EstimatorCrashes++
 	e.Metrics.EstimatorDowntime += repair
-	e.Tracer.Tracef("fault", "estimator %d crashed", est.id)
+	if e.Tracer.On() {
+		e.Tracer.Tracef("fault", "estimator %d crashed", est.id)
+	}
 }
 
 // repairEstimator brings the estimator back empty.
 func (e *Engine) repairEstimator(est *Estimator) {
 	est.down = false
-	e.Tracer.Tracef("fault", "estimator %d repaired", est.id)
+	if e.Tracer.On() {
+		e.Tracer.Tracef("fault", "estimator %d repaired", est.id)
+	}
 }
 
 // protoSend carries one protocol payload under the armed fault model.

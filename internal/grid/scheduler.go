@@ -36,9 +36,21 @@ type Scheduler struct {
 	eng     *Engine
 
 	busyUntil sim.Time
-	view      map[int]*resourceView // local resources only
-	peers     []int                 // neighborhood of remote clusters
-	rand      *sim.Stream
+	// views holds the believed state of the cluster's local resources,
+	// dense by local index (Engine.localIdx maps a resource id to its
+	// slot). Every decision scan walks this array; keeping it a flat
+	// slice instead of a map removes hashing and per-entry allocation
+	// from the scheduler's hottest loop.
+	views []resourceView
+	peers []int // neighborhood of remote clusters
+	rand  *sim.Stream
+
+	// Preallocated protocol scratch. permScratch/peerScratch back
+	// RandomPeers (valid until its next call); oneRid backs the
+	// single-resource OnStatus list of a direct status update.
+	permScratch []int
+	peerScratch []int
+	oneRid      [1]int
 
 	// Fault state (see faults.go). epoch invalidates queued Exec work
 	// when a crash destroys the scheduler's CPU state; owned tracks the
@@ -74,15 +86,18 @@ func (s *Scheduler) Rand() *sim.Stream { return s.rand }
 func (s *Scheduler) Peers() []int { return s.peers }
 
 // RandomPeers returns up to n distinct random clusters from the
-// neighborhood.
+// neighborhood. The returned slice is backed by per-scheduler scratch
+// and stays valid until the next RandomPeers call on this scheduler;
+// every protocol consumes it immediately (probe fan-out loops), so the
+// per-poll allocations are gone from the hot path.
 func (s *Scheduler) RandomPeers(n int) []int {
 	if n >= len(s.peers) {
-		out := make([]int, len(s.peers))
+		out := s.peerScratch[:len(s.peers)]
 		copy(out, s.peers)
 		return out
 	}
-	idx := s.rand.Sample(len(s.peers), n)
-	out := make([]int, n)
+	idx := s.rand.SampleInto(s.permScratch, len(s.peers), n)
+	out := s.peerScratch[:n]
 	for i, j := range idx {
 		out[i] = s.peers[j]
 	}
@@ -95,21 +110,24 @@ func (s *Scheduler) LocalResources() []int {
 }
 
 // View returns the last known load of a local resource and the time the
-// information was received. Unknown resources read as load 0 at t=0.
+// information was received. Resources outside the cluster (and local
+// ones never heard from) read as load 0 at t=0.
 func (s *Scheduler) View(rid int) (load float64, at sim.Time) {
-	if v, ok := s.view[rid]; ok {
-		return v.load, v.at
+	if s.eng.Map.ResourceCluster[rid] != s.cluster {
+		return 0, 0
 	}
-	return 0, 0
+	v := s.views[s.eng.localIdx[rid]]
+	return v.load, v.at
 }
 
-// mergeView installs fresh status information.
+// mergeView installs fresh status information. Status for a resource
+// outside the cluster is dropped (the update machinery never routes
+// any, so this only defends the public InjectView).
 func (s *Scheduler) mergeView(rid int, load float64, at sim.Time) {
-	v, ok := s.view[rid]
-	if !ok {
-		v = &resourceView{}
-		s.view[rid] = v
+	if s.eng.Map.ResourceCluster[rid] != s.cluster {
+		return
 	}
+	v := &s.views[s.eng.localIdx[rid]]
 	if at >= v.at {
 		v.load, v.at = load, at
 	}
@@ -126,50 +144,48 @@ func (s *Scheduler) InjectView(rid int, load float64, at sim.Time) {
 // bumpView optimistically increments the believed load after a local
 // dispatch so back-to-back decisions do not herd onto one resource.
 func (s *Scheduler) bumpView(rid int) {
-	v, ok := s.view[rid]
-	if !ok {
-		v = &resourceView{}
-		s.view[rid] = v
+	if s.eng.Map.ResourceCluster[rid] != s.cluster {
+		return
 	}
-	v.load++
+	s.views[s.eng.localIdx[rid]].load++
 }
 
 // LeastLoadedLocal returns the local resource with the lowest believed
 // load. The boolean is false for an empty cluster (cannot happen in
-// valid configurations, but policies stay defensive).
+// valid configurations, but policies stay defensive). The scan walks
+// the dense view array in local-index order, which matches the
+// LocalResources order the map-based implementation scanned, so the
+// first-minimum choice is unchanged.
 func (s *Scheduler) LeastLoadedLocal() (rid int, load float64, ok bool) {
 	best, bestLoad := -1, math.Inf(1)
-	for _, r := range s.LocalResources() {
-		l, _ := s.View(r)
-		if l < bestLoad {
-			best, bestLoad = r, l
+	for i := range s.views {
+		if l := s.views[i].load; l < bestLoad {
+			best, bestLoad = i, l
 		}
 	}
 	if best < 0 {
 		return 0, 0, false
 	}
-	return best, bestLoad, true
+	return s.LocalResources()[best], bestLoad, true
 }
 
 // AvgLocalLoad returns the mean believed load over the cluster.
 func (s *Scheduler) AvgLocalLoad() float64 {
-	rs := s.LocalResources()
-	if len(rs) == 0 {
+	if len(s.views) == 0 {
 		return 0
 	}
 	sum := 0.0
-	for _, r := range rs {
-		l, _ := s.View(r)
-		sum += l
+	for i := range s.views {
+		sum += s.views[i].load
 	}
-	return sum / float64(len(rs))
+	return sum / float64(len(s.views))
 }
 
 // MaxLocalLoad returns the highest believed load over the cluster.
 func (s *Scheduler) MaxLocalLoad() float64 {
 	max := 0.0
-	for _, r := range s.LocalResources() {
-		if l, _ := s.View(r); l > max {
+	for i := range s.views {
+		if l := s.views[i].load; l > max {
 			max = l
 		}
 	}
@@ -180,17 +196,16 @@ func (s *Scheduler) MaxLocalLoad() float64 {
 // in the paper's S-I/R-I models): the fraction of resources with any
 // believed load.
 func (s *Scheduler) Utilization() float64 {
-	rs := s.LocalResources()
-	if len(rs) == 0 {
+	if len(s.views) == 0 {
 		return 0
 	}
 	busy := 0
-	for _, r := range rs {
-		if l, _ := s.View(r); l > 0 {
+	for i := range s.views {
+		if s.views[i].load > 0 {
 			busy++
 		}
 	}
-	return float64(busy) / float64(len(rs))
+	return float64(busy) / float64(len(s.views))
 }
 
 // Exec serializes cost units of work through the scheduler's CPU and

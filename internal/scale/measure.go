@@ -7,13 +7,6 @@ import (
 	"rmscale/internal/anneal"
 )
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // MeasureSpec configures the paper's four-step measurement procedure
 // (Figure 1's flowchart):
 //

@@ -24,13 +24,6 @@ func pathSystem(k int, vars []float64) (Observation, error) {
 	}, nil
 }
 
-func min(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 func pathSpec() PathSpec {
 	return PathSpec{
 		Vars: []PathVar{

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Differential test of the future event list: the kernel (implicit
+// 4-ary heap, lazy deletion, free-list recycling) is driven alongside a
+// trivially correct reference model — a flat slice popped by linear
+// scan for the minimum (time, insertion order) — through long seeded
+// sequences of Schedule/Cancel/Reschedule/Step. Any divergence in fire
+// order, fire count or pending count fails. The sequence deliberately
+// produces timestamp ties (seq tie-breaking), cancellations of the
+// event the reference says fires next (cancel-at-head), and
+// cancel-then-reschedule churn deep enough to cross the lazy-deletion
+// compaction threshold.
+
+// felRec mirrors one scheduled event in the reference model. Records
+// are appended in schedule order, which is also sequence order, so the
+// first record with the minimum time among live records is exactly the
+// kernel's (time, seq) minimum.
+type felRec struct {
+	ev       *Event
+	at       Time
+	canceled bool
+	fired    bool
+}
+
+// refNext returns the index of the record the reference model says
+// fires next, or -1 when none are live.
+func refNext(all []*felRec) int {
+	best := -1
+	for i, r := range all {
+		if r.fired || r.canceled {
+			continue
+		}
+		if best == -1 || r.at < all[best].at {
+			best = i
+		}
+	}
+	return best
+}
+
+func refLive(all []*felRec) int {
+	n := 0
+	for _, r := range all {
+		if !r.fired && !r.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFELDifferentialAgainstSortedSlice(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 17, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runFELDifferential(t, seed)
+		})
+	}
+}
+
+func runFELDifferential(t *testing.T, seed int64) {
+	rng := NewSource(seed).Stream("felprop")
+	k := NewKernel()
+	var all []*felRec
+	lastFired := -1
+	schedule := func(at Time) {
+		r := &felRec{at: at}
+		id := len(all)
+		r.ev = k.Schedule(at, func() {
+			r.fired = true
+			lastFired = id
+		})
+		all = append(all, r)
+	}
+	step := func() {
+		want := refNext(all)
+		if !k.Step() {
+			if want != -1 {
+				t.Fatalf("kernel empty but reference expects event %d at t=%v", want, all[want].at)
+			}
+			return
+		}
+		if lastFired != want {
+			t.Fatalf("fired event %d (t=%v), reference expects %d (t=%v)",
+				lastFired, all[lastFired].at, want, all[want].at)
+		}
+	}
+	cancel := func(i int) {
+		r := all[i]
+		if r.fired || r.canceled {
+			return // the handle's lifetime is over; cancelling would be a model bug
+		}
+		r.canceled = true
+		k.Cancel(r.ev)
+	}
+
+	const ops = 6000
+	for op := 0; op < ops; op++ {
+		switch x := rng.Float64(); {
+		case x < 0.40:
+			// Schedule; one third of the time at an existing pending
+			// timestamp to force (time, seq) tie-breaking.
+			at := k.Now() + rng.Float64()*10
+			if len(all) > 0 && rng.Float64() < 0.33 {
+				if r := all[rng.Intn(len(all))]; !r.fired && !r.canceled && r.at >= k.Now() {
+					at = r.at
+				}
+			}
+			schedule(at)
+		case x < 0.58 && len(all) > 0:
+			// Cancel: half the time a uniformly random handle, half the
+			// time exactly the event due to fire next.
+			i := rng.Intn(len(all))
+			if rng.Float64() < 0.5 {
+				if head := refNext(all); head != -1 {
+					i = head
+				}
+			}
+			cancel(i)
+		case x < 0.68 && len(all) > 0:
+			// Reschedule: cancel a live event and schedule a replacement
+			// at a fresh future time.
+			i := rng.Intn(len(all))
+			if !all[i].fired && !all[i].canceled {
+				cancel(i)
+				schedule(k.Now() + rng.Float64()*10)
+			}
+		default:
+			step()
+		}
+		if got, want := k.Pending(), refLive(all); got != want {
+			t.Fatalf("op %d: Pending() = %d, reference has %d live events", op, got, want)
+		}
+	}
+	// Drain: the remaining fire order must match the reference exactly.
+	for refLive(all) > 0 {
+		step()
+	}
+	if k.Step() {
+		t.Fatal("kernel fired an event the reference does not have")
+	}
+	if err := k.Err(); err != nil {
+		t.Fatalf("kernel unhealthy after drain: %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"testing"
+)
+
+// FuzzKernelOps decodes an arbitrary byte stream into a sequence of
+// kernel operations — schedules at equal/past/future times, double
+// cancels, steps, bounded runs, and Stop called from inside a callback
+// — and asserts the kernel's core safety properties hold under any
+// sequence: no panics except the documented schedule-in-the-past one,
+// a monotonically non-decreasing clock, and a Pending count that never
+// goes negative. Handles are only cancelled while live, honouring the
+// Event handle-lifetime contract (the free list recycles fired
+// structs).
+//
+// The seed corpus lives in testdata/fuzz/FuzzKernelOps.
+func FuzzKernelOps(f *testing.F) {
+	// One of each opcode, a tie burst, a cancel-twice pair, and a
+	// stop-inside-callback prefix.
+	f.Add([]byte{0, 1, 2, 3, 3, 4, 5, 6})
+	f.Add([]byte{1, 10, 1, 10, 1, 10, 4, 4, 4})
+	f.Add([]byte{6, 4, 1, 200, 5})
+	f.Add([]byte{2, 50, 0, 3, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k := NewKernel()
+		k.MaxEvents = 50_000
+		k.StallEvents = 10_000
+		type handle struct {
+			ev    *Event
+			live  bool
+			extra int // cancels issued after the first (no-ops)
+		}
+		var handles []*handle
+		sched := func(at Time) {
+			h := &handle{}
+			h.ev = k.Schedule(at, func() { h.live = false })
+			h.live = true
+			handles = append(handles, h)
+		}
+		arg := func(i int) byte {
+			if i+1 < len(data) {
+				return data[i+1]
+			}
+			return 0
+		}
+		last := k.Now()
+		for i := 0; i < len(data); i++ {
+			op := data[i] % 7
+			switch op {
+			case 0: // schedule at the current time (zero-delay tie)
+				sched(k.Now())
+			case 1: // schedule in the future
+				sched(k.Now() + Time(arg(i)) + 1)
+				i++
+			case 2: // schedule in the past must panic (documented model bug)
+				if k.Now() > 0 {
+					func() {
+						defer func() {
+							if recover() == nil {
+								t.Fatal("schedule in the past did not panic")
+							}
+						}()
+						k.Schedule(k.Now()-1, func() {})
+					}()
+				}
+			case 3: // cancel a live handle; repeated cancels are no-ops
+				if len(handles) > 0 {
+					h := handles[int(arg(i))%len(handles)]
+					i++
+					if h.live {
+						if h.ev.Canceled() {
+							h.extra++
+						} else {
+							k.Cancel(h.ev)
+							k.Cancel(h.ev) // cancel twice: second must be a no-op
+							h.live = false
+						}
+					}
+				}
+			case 4:
+				k.Step()
+			case 5: // bounded run
+				k.Run(k.Now() + Time(arg(i)))
+				i++
+			case 6: // stop from inside a callback
+				k.After(Time(arg(i)%8), func() { k.Stop() })
+				i++
+				k.Run(k.Now() + 16)
+			}
+			if now := k.Now(); now < last {
+				t.Fatalf("clock moved backwards: %v -> %v", last, now)
+			} else {
+				last = now
+			}
+			if k.Pending() < 0 {
+				t.Fatalf("negative pending count %d", k.Pending())
+			}
+		}
+		// Drain what's left; the kernel must terminate cleanly.
+		k.MaxEvents = k.Processed() + 100_000
+		k.Overflowed = false
+		k.RunAll()
+		if now := k.Now(); now < last {
+			t.Fatalf("clock moved backwards during drain: %v -> %v", last, now)
+		}
+	})
+}

@@ -126,3 +126,22 @@ func (st *Stream) Sample(n, k int) []int {
 	p := st.rng.Perm(n)
 	return p[:k]
 }
+
+// SampleInto is Sample with caller-provided scratch: it fills dst[:n]
+// with a permutation of [0,n) and returns the first min(k, n) entries.
+// dst must have capacity for n values. The draw sequence is exactly the
+// one Sample/Perm consume (math/rand's Fisher–Yates loop), so swapping
+// Sample for SampleInto never shifts a stream — hot paths get the
+// allocation-free variant without perturbing determinism.
+func (st *Stream) SampleInto(dst []int, n, k int) []int {
+	m := dst[:n]
+	for i := 0; i < n; i++ {
+		j := st.rng.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+	if k > n {
+		k = n
+	}
+	return m[:k]
+}

@@ -1,15 +1,23 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
 // It replaces the Parsec simulation environment used by the paper: a
-// single-threaded event loop with a binary-heap future event list, a
-// simulated clock, cancellable events, and named deterministic random
-// number streams. Determinism is total: two runs with the same seed and
-// the same schedule of calls produce identical event orders, because ties
-// in event time are broken by a monotonically increasing sequence number.
+// single-threaded event loop with an implicit 4-ary-heap future event
+// list, a simulated clock, cancellable events, and named deterministic
+// random number streams. Determinism is total: two runs with the same
+// seed and the same schedule of calls produce identical event orders,
+// because ties in event time are broken by a monotonically increasing
+// sequence number.
+//
+// The kernel is the cost center of the whole reproduction (every figure
+// re-runs the grid simulation hundreds of times inside the annealing
+// tuner), so its hot path is allocation-free in steady state: Event
+// structs are recycled through a free list once they fire or their
+// cancellation is collected, and the future event list is an implicit
+// heap with no interface boxing (see fel.go and DESIGN.md, "Kernel
+// performance").
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -21,15 +29,22 @@ type Time = float64
 // Infinity is a time later than any event the kernel will ever fire.
 const Infinity Time = math.MaxFloat64
 
-// Event is a scheduled callback. The zero value is not useful; events are
-// created through Kernel.Schedule or Kernel.After and may be cancelled
-// through their handle.
+// Event is a scheduled callback. The zero value is not useful; events
+// are created through Kernel.Schedule or Kernel.After and may be
+// cancelled through their handle.
+//
+// Handle lifetime: a handle is valid until its event fires (or, for a
+// cancelled event, until the kernel collects it). The kernel recycles
+// retired Event structs, so retaining a handle past that point and
+// cancelling it later may cancel an unrelated future event — a model
+// bug, just like scheduling in the past. Every in-tree holder (the
+// Ticker, protocol sessions) refreshes its handle on each reschedule.
 type Event struct {
 	at       Time
 	seq      uint64
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 once popped
+	inFEL    bool // currently linked into the future event list
 }
 
 // At reports the simulated time the event is (or was) scheduled for.
@@ -44,7 +59,8 @@ func (e *Event) Canceled() bool { return e.canceled }
 type Kernel struct {
 	now       Time
 	seq       uint64
-	fel       eventHeap // future event list
+	fel       fel // future event list (fel.go)
+	free      []*Event
 	processed uint64
 	stopped   bool
 
@@ -78,15 +94,7 @@ func (k *Kernel) Processed() uint64 { return k.processed }
 
 // Pending returns the number of live (non-cancelled) events in the
 // future event list.
-func (k *Kernel) Pending() int {
-	n := 0
-	for _, e := range k.fel {
-		if !e.canceled {
-			n++
-		}
-	}
-	return n
-}
+func (k *Kernel) Pending() int { return k.fel.live() }
 
 // Schedule arranges for fn to run at absolute simulated time at.
 // Scheduling in the past panics: it is always a model bug.
@@ -97,9 +105,8 @@ func (k *Kernel) Schedule(at Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: schedule nil func")
 	}
-	e := &Event{at: at, seq: k.seq, fn: fn}
-	k.seq++
-	heap.Push(&k.fel, e)
+	e := k.newEvent(at, fn)
+	k.fel.push(e)
 	return e
 }
 
@@ -113,12 +120,19 @@ func (k *Kernel) After(d Time, fn func()) *Event {
 }
 
 // Cancel marks the event so it will not fire. Cancelling an event that
-// already fired or was already cancelled is a no-op.
+// already fired or was already cancelled is a no-op (but see the handle
+// lifetime note on Event). The event stays in the future event list
+// until it surfaces or a compaction sweep collects it; either way its
+// struct returns to the free list.
 func (k *Kernel) Cancel(e *Event) {
-	if e == nil {
+	if e == nil || e.canceled {
 		return
 	}
 	e.canceled = true
+	if e.inFEL {
+		k.fel.dead++
+		k.maybeCompact()
+	}
 }
 
 // Stop makes the current Run return after the event being processed
@@ -128,15 +142,18 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Step executes the earliest pending event. It returns false when the
 // future event list is empty.
 func (k *Kernel) Step() bool {
-	for len(k.fel) > 0 {
-		e := heap.Pop(&k.fel).(*Event)
+	for len(k.fel.ev) > 0 {
+		e := k.fel.pop()
 		if e.canceled {
+			k.fel.dead--
+			k.recycle(e)
 			continue
 		}
 		k.now = e.at
 		k.processed++
 		k.noteProgress(e.at)
 		e.fn()
+		k.recycle(e)
 		return true
 	}
 	return false
@@ -168,37 +185,40 @@ func (k *Kernel) noteProgress(at Time) {
 func (k *Kernel) Run(until Time) uint64 {
 	k.stopped = false
 	var n uint64
-	for len(k.fel) > 0 && !k.stopped {
+	for len(k.fel.ev) > 0 && !k.stopped {
 		if k.MaxEvents != 0 && k.processed >= k.MaxEvents {
 			k.Overflowed = true
 			break
 		}
-		next := k.fel[0]
+		next := k.fel.ev[0]
 		if next.canceled {
-			heap.Pop(&k.fel)
+			k.fel.pop()
+			k.fel.dead--
+			k.recycle(next)
 			continue
 		}
 		if next.at > until {
 			break
 		}
-		heap.Pop(&k.fel)
+		k.fel.pop()
 		k.now = next.at
 		k.noteProgress(next.at)
 		if k.Stalled {
 			// Watchdog tripped: leave the offending event pending so a
 			// diagnostic dump (NextEventTimes) still shows the work the
 			// model was spinning on, and do not count it as processed.
-			heap.Push(&k.fel, next)
+			k.fel.push(next)
 			break
 		}
 		k.processed++
 		n++
 		next.fn()
+		k.recycle(next)
 	}
 	if k.Stalled {
 		return n
 	}
-	if k.now < until && (len(k.fel) == 0 || k.fel[0].at > until) {
+	if k.now < until && (len(k.fel.ev) == 0 || k.fel.ev[0].at > until) {
 		// Advance the clock to the horizon so rate-style metrics
 		// (work per unit time) are computed over the full window.
 		k.now = until
@@ -242,7 +262,7 @@ func (k *Kernel) Err() error {
 // dumps and does not disturb the future event list.
 func (k *Kernel) NextEventTimes(n int) []Time {
 	times := make([]Time, 0, n)
-	for _, e := range k.fel {
+	for _, e := range k.fel.ev {
 		if !e.canceled {
 			times = append(times, e.at)
 		}
@@ -262,38 +282,4 @@ func sortTimes(ts []Time) {
 			ts[j], ts[j-1] = ts[j-1], ts[j]
 		}
 	}
-}
-
-// eventHeap implements heap.Interface ordered by (time, sequence).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
 }

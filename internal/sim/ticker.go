@@ -8,6 +8,7 @@ type Ticker struct {
 	k      *Kernel
 	period Time
 	fn     func()
+	tick   func() // single reusable rearm closure; see NewTicker
 	ev     *Event
 	done   bool
 }
@@ -15,8 +16,27 @@ type Ticker struct {
 // NewTicker schedules fn every period time units, first firing one period
 // from now. A non-positive period returns a stopped ticker (the process
 // is disabled), which lets callers treat "interval = 0" as "off".
+//
+// The rearm closure is built once here: with the kernel's event free
+// list warm, every subsequent tick reschedules with zero heap
+// allocations — tickers are the highest-frequency periodic load in a
+// grid run (every resource, estimator and scheduler carries one).
 func NewTicker(k *Kernel, period Time, fn func()) *Ticker {
 	t := &Ticker{k: k, period: period, fn: fn}
+	t.tick = func() {
+		if t.done {
+			return
+		}
+		t.fn()
+		if !t.done { // fn may have stopped us
+			t.arm()
+		} else {
+			// The firing event retires when this callback returns; drop
+			// the handle so a later Stop cannot cancel its recycled
+			// successor.
+			t.ev = nil
+		}
+	}
 	if period <= 0 {
 		t.done = true
 		return t
@@ -26,15 +46,7 @@ func NewTicker(k *Kernel, period Time, fn func()) *Ticker {
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.k.After(t.period, func() {
-		if t.done {
-			return
-		}
-		t.fn()
-		if !t.done { // fn may have stopped us
-			t.arm()
-		}
-	})
+	t.ev = t.k.After(t.period, t.tick)
 }
 
 // Stop cancels the ticker. It is safe to call repeatedly and from within
@@ -43,6 +55,9 @@ func (t *Ticker) Stop() {
 	t.done = true
 	if t.ev != nil {
 		t.k.Cancel(t.ev)
+		// The cancelled event's struct will be recycled; a retained
+		// handle must not outlive it (see Event's lifetime note).
+		t.ev = nil
 	}
 }
 

@@ -36,6 +36,14 @@ func NewTracer(k *Kernel, limit int) *Tracer {
 	return &Tracer{k: k, counts: make(map[string]int), limit: limit}
 }
 
+// On reports whether the tracer is recording. Hot paths guard their
+// Tracef calls with it: a Tracef call site materializes its variadic
+// argument slice (and boxes non-pointer arguments) before the nil check
+// inside Tracef can run, so an unguarded call allocates even when
+// tracing is off. `if t.On() { t.Tracef(...) }` keeps a disabled-tracer
+// run allocation-free. Safe on a nil receiver.
+func (t *Tracer) On() bool { return t != nil }
+
 // Trace records an event at the current simulated time. Safe on a nil
 // receiver.
 func (t *Tracer) Trace(kind, detail string) {
