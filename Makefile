@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench benchcheck gobench chaos
+.PHONY: check build vet lint test race bench benchcheck gobench chaos loadtest
 
 # The gate CI runs: vet + determinism lint + full test suite + race +
-# the fixed-seed chaos sweep.
-check: vet lint test race chaos
+# the fixed-seed chaos sweep + the rmscaled load smoke.
+check: vet lint test race chaos loadtest
 
 build:
 	$(GO) build ./...
@@ -51,3 +51,10 @@ gobench:
 # replayed, shrunk to a minimal reproducer and fails the target.
 chaos: build
 	$(GO) run ./cmd/rmscale -chaos 32 -seed 1
+
+# rmscaled load smoke: one scaled-down load iteration through the full
+# HTTP service (submit / stream / fetch, dedup audited, exit non-zero
+# on any accounting drift). The full 1000-object iteration runs inside
+# `make bench`/`make benchcheck` via the perfbench service metrics.
+loadtest: build
+	$(GO) run ./cmd/rmscaled loadtest -objects 200 -distinct 25 -clients 4 -v > loadtest_report.json

@@ -1,0 +1,297 @@
+// Command rmscaled is the long-lived experiment service: a daemon
+// serving the repository's simulations and experiment cases to many
+// concurrent clients over HTTP/JSON, with content-addressed dedup, a
+// shared result store, admission control and journal-checkpointed
+// restart. The client subcommands talk to a running daemon.
+//
+// Usage:
+//
+//	rmscaled serve   [-addr :8080] [-dir DIR] [-shards N] [-queue N] [-quiet]
+//	rmscaled submit  [-addr HOST] [-wait] -kind sim -model M [-seed N] [-horizon F]
+//	rmscaled submit  [-addr HOST] [-wait] -kind case|churn -case 1..4 -fidelity F [-seed N]
+//	rmscaled status  [-addr HOST] ID
+//	rmscaled fetch   [-addr HOST] ID
+//	rmscaled loadtest [-objects N] [-distinct N] [-clients N] [-seed N]
+//
+// serve runs the daemon until SIGINT/SIGTERM, then drains gracefully:
+// in-flight experiments finish, the queued backlog stays checkpointed
+// in -dir's journal, and the next serve over the same -dir resumes it.
+//
+// submit posts one experiment spec and prints the daemon's status
+// response — the experiment ID is the spec's deterministic content
+// address, so resubmitting an already-known spec joins the existing
+// work instead of rerunning it. With -wait, submit streams status
+// updates until the experiment is terminal and then fetches the
+// result.
+//
+// loadtest needs no daemon: it starts an in-process one and drives the
+// scale-qualifying load iteration from internal/service/loadgen
+// against it, printing the metrics as JSON.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"rmscale/internal/service"
+	"rmscale/internal/service/loadgen"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "serve":
+		err = serveCmd(args)
+	case "submit":
+		err = submitCmd(args)
+	case "status":
+		err = queryCmd(args, "")
+	case "fetch":
+		err = queryCmd(args, "/result")
+	case "loadtest":
+		err = loadtestCmd(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmscaled:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: rmscaled <serve|submit|status|fetch|loadtest> [flags]
+  serve     run the daemon (SIGTERM drains gracefully; -dir resumes)
+  submit    submit an experiment spec to a running daemon
+  status    print an experiment's status
+  fetch     print an experiment's stored result
+  loadtest  run the in-process load iteration and print its metrics
+run 'rmscaled <command> -h' for the command's flags`)
+}
+
+// serveCmd runs the daemon until SIGINT/SIGTERM, then drains.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	dir := fs.String("dir", "", "service directory (journal, result store, run dirs); empty = ephemeral")
+	shards := fs.Int("shards", 2, "worker shards executing experiments concurrently")
+	queue := fs.Int("queue", 256, "admission queue capacity (full = HTTP 429)")
+	workers := fs.Int("j", 1, "runner workers inside one case/churn experiment")
+	quiet := fs.Bool("quiet", false, "suppress the structured event/request log")
+	fs.Parse(args)
+
+	var logw io.Writer = os.Stderr
+	if *quiet {
+		logw = nil
+	}
+	d, err := service.New(service.Config{
+		Dir: *dir, Shards: *shards, QueueCap: *queue, CaseWorkers: *workers, Log: logw,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		d.Close()
+		return err
+	}
+	srv := &http.Server{Handler: service.NewServer(d).Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "rmscaled: serving on %s (dir=%q shards=%d queue=%d)\n",
+		ln.Addr(), *dir, *shards, *queue)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "rmscaled: %v: draining (in-flight work finishes, backlog stays journaled)\n", sig)
+		srv.Close() // stop accepting requests, then drain the daemon
+		d.Drain()
+		return d.Close()
+	case err := <-errc:
+		d.Close()
+		return err
+	}
+}
+
+// submitCmd builds a spec from flags, posts it, and optionally waits.
+func submitCmd(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	kind := fs.String("kind", "sim", "spec kind: sim, case or churn")
+	model := fs.String("model", "", "sim: RMS model name")
+	seed := fs.Int64("seed", 1, "master random seed")
+	horizon := fs.Float64("horizon", 0, "sim: simulated duration override (0 = default)")
+	caseN := fs.Int("case", 0, "case/churn: experiment case 1..4")
+	fidelity := fs.String("fidelity", "", "case/churn: smoke, quick or full")
+	wait := fs.Bool("wait", false, "stream status until terminal, then fetch the result")
+	client := fs.String("client", "rmscaled-cli", "client identity for fairness accounting")
+	fs.Parse(args)
+
+	spec := service.ExperimentSpec{
+		Kind: *kind, Seed: *seed, Model: *model, Horizon: *horizon,
+		Case: *caseN, Fidelity: *fidelity,
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, strings.TrimRight(*addr, "/")+"/v1/experiments",
+		strings.NewReader(string(payload)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Rmscale-Client", *client)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var st service.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		return fmt.Errorf("decoding status: %w", err)
+	}
+	if !*wait {
+		os.Stdout.Write(body)
+		return nil
+	}
+	if err := streamUntilDone(*addr, st.ID, os.Stderr); err != nil {
+		return err
+	}
+	return fetchTo(*addr, st.ID, os.Stdout)
+}
+
+// streamUntilDone follows the experiment's stream, echoing each status
+// line, and fails if the experiment does.
+func streamUntilDone(addr, id string, w io.Writer) error {
+	resp, err := http.Get(strings.TrimRight(addr, "/") + "/v1/experiments/" + id + "/stream")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stream: HTTP %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var st service.Status
+	for {
+		if err := dec.Decode(&st); err != nil {
+			return fmt.Errorf("stream: %w", err)
+		}
+		b, _ := json.Marshal(st)
+		fmt.Fprintf(w, "%s\n", b)
+		if st.State.Terminal() {
+			break
+		}
+	}
+	if st.State != service.StateDone {
+		return fmt.Errorf("experiment %s failed: %s", id, st.Error)
+	}
+	return nil
+}
+
+func fetchTo(addr, id string, w io.Writer) error {
+	resp, err := http.Get(strings.TrimRight(addr, "/") + "/v1/experiments/" + id + "/result")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("fetch %s: HTTP %d: %s", id, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// queryCmd implements status (path "") and fetch (path "/result").
+func queryCmd(args []string, path string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one experiment ID, got %d args", fs.NArg())
+	}
+	id := fs.Arg(0)
+	if path == "/result" {
+		return fetchTo(*addr, id, os.Stdout)
+	}
+	resp, err := http.Get(strings.TrimRight(*addr, "/") + "/v1/experiments/" + id)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s: HTTP %d: %s", id, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	os.Stdout.Write(body)
+	return nil
+}
+
+// loadtestCmd runs one in-process load iteration and prints Metrics.
+func loadtestCmd(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	objects := fs.Int("objects", 1000, "experiment objects submitted per iteration")
+	distinct := fs.Int("distinct", 0, "distinct specs among the objects (0 = objects/8)")
+	clients := fs.Int("clients", 8, "concurrent load clients")
+	seed := fs.Int64("seed", 1, "spec seed base")
+	horizon := fs.Float64("horizon", 250, "sim horizon per object")
+	shards := fs.Int("shards", 2, "daemon worker shards")
+	queue := fs.Int("queue", 256, "daemon queue capacity")
+	dir := fs.String("dir", "", "daemon service directory (empty = temp dir)")
+	verbose := fs.Bool("v", false, "print the harness progress line to stderr")
+	fs.Parse(args)
+
+	sdir := *dir
+	if sdir == "" {
+		tmp, err := os.MkdirTemp("", "rmscaled-loadtest-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		sdir = tmp
+	}
+	opts := loadgen.Options{
+		Objects: *objects, Distinct: *distinct, Clients: *clients,
+		Seed: *seed, Horizon: *horizon,
+	}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	m, err := loadgen.RunInProcess(opts, service.Config{
+		Dir: sdir, Shards: *shards, QueueCap: *queue,
+	})
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}

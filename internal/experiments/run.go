@@ -48,17 +48,33 @@ func (s RunSpec) fingerprint() string {
 
 // Validate reports the first nonsensical execution parameter. Every
 // Run*Spec entry point validates up front, so a bad spec fails before
-// any journal or cache state is touched.
+// any journal or cache state is touched. Every message carries the
+// offending value and the spec it came from, so a rejected spec can be
+// fixed from the error alone.
 func (s RunSpec) Validate() error {
 	switch s.Fidelity {
 	case Smoke, Quick, Full:
 	default:
-		return fmt.Errorf("experiments: unknown fidelity %d", int(s.Fidelity))
+		return fmt.Errorf("experiments: %s: fidelity %d is not one of %s (%d), %s (%d) or %s (%d)",
+			s, int(s.Fidelity), Smoke, int(Smoke), Quick, int(Quick), Full, int(Full))
 	}
 	if s.Workers < 0 {
-		return fmt.Errorf("experiments: negative Workers %d", s.Workers)
+		return fmt.Errorf("experiments: %s: Workers %d is negative; use 0 for GOMAXPROCS", s, s.Workers)
+	}
+	if s.Seed < 0 {
+		return fmt.Errorf("experiments: %s: Seed %d is negative; seeds are non-negative so journal fingerprints stay canonical", s, s.Seed)
 	}
 	return nil
+}
+
+// String renders the spec's identity fields — the ones that feed the
+// journal fingerprint and the simulation cache keys — in declaration
+// order. It is the human-readable twin of fingerprint(), for log lines
+// and hash-mismatch diagnostics; execution-only fields (Workers, Dir,
+// callbacks) are deliberately absent, exactly as they are absent from
+// the fingerprint.
+func (s RunSpec) String() string {
+	return fmt.Sprintf("runspec{fidelity=%s seed=%d}", s.Fidelity, s.Seed)
 }
 
 // caseByID maps a case number to its definition.

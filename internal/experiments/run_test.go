@@ -6,6 +6,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -202,16 +203,42 @@ func TestRunSpecValidation(t *testing.T) {
 	if err := (RunSpec{Fidelity: Smoke}).Validate(); err != nil {
 		t.Fatalf("valid spec rejected: %v", err)
 	}
-	if err := (RunSpec{Fidelity: Fidelity(99)}).Validate(); err == nil {
+	// Every rejection names the offending value, so a bad spec can be
+	// fixed from the error alone.
+	err := (RunSpec{Fidelity: Fidelity(99)}).Validate()
+	if err == nil {
 		t.Fatal("unknown fidelity accepted")
 	}
-	if err := (RunSpec{Fidelity: Smoke, Workers: -1}).Validate(); err == nil {
+	if !strings.Contains(err.Error(), "99") {
+		t.Fatalf("fidelity error %q does not name the offending value", err)
+	}
+	err = (RunSpec{Fidelity: Smoke, Workers: -1}).Validate()
+	if err == nil {
 		t.Fatal("negative Workers accepted")
+	}
+	if !strings.Contains(err.Error(), "-1") {
+		t.Fatalf("workers error %q does not name the offending value", err)
+	}
+	err = (RunSpec{Fidelity: Smoke, Seed: -3}).Validate()
+	if err == nil {
+		t.Fatal("negative Seed accepted")
+	}
+	if !strings.Contains(err.Error(), "-3") {
+		t.Fatalf("seed error %q does not name the offending value", err)
 	}
 	// The Run*Spec entry points must fail before touching any journal
 	// or cache state.
 	if _, err := RunCaseSpec(1, RunSpec{Fidelity: Fidelity(99), Seed: 1}); err == nil {
 		t.Fatal("RunCaseSpec ran with an unknown fidelity")
+	}
+}
+
+// TestRunSpecString pins the diagnostic rendering: identity fields
+// only, matching what fingerprint() hashes.
+func TestRunSpecString(t *testing.T) {
+	s := RunSpec{Fidelity: Quick, Seed: 7, Workers: 4, Dir: "/tmp/x"}
+	if got, want := s.String(), "runspec{fidelity=quick seed=7}"; got != want {
+		t.Fatalf("String() = %q, want %q (identity fields only)", got, want)
 	}
 }
 

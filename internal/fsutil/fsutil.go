@@ -1,0 +1,62 @@
+// Package fsutil holds the module's durable-write primitives: the
+// atomic whole-file write (temp file + fsync + rename) and the synced
+// append that makes each record of an append-only log an atomic commit
+// point. They were born in internal/runner for the checkpoint journal
+// and disk cache; the rmscaled result store shares the exact same
+// crash-consistency needs, so the helpers live here and both reuse
+// them instead of duplicating temp-file logic.
+package fsutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that readers never observe a
+// partial file: the bytes land in a temporary file in the same
+// directory, are flushed to stable storage, and are then renamed over
+// the destination. An interrupted writer leaves either the old content
+// or the new content, never a truncated mix.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fsutil: atomic write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fsutil: atomic write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fsutil: atomic write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fsutil: atomic write %s: %w", path, err)
+	}
+	if err := os.Chmod(tmpName, perm); err != nil {
+		return fmt.Errorf("fsutil: atomic write %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("fsutil: atomic write %s: %w", path, err)
+	}
+	return nil
+}
+
+// AppendSync appends b to f with a single write followed by an fsync.
+// Used on an append-only log it makes each record a durable commit
+// point: a crash mid-append leaves at most one truncated final record,
+// and everything written before the last successful AppendSync
+// survives.
+func AppendSync(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return fmt.Errorf("fsutil: append %s: %w", f.Name(), err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("fsutil: sync %s: %w", f.Name(), err)
+	}
+	return nil
+}

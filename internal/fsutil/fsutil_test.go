@@ -1,0 +1,84 @@
+package fsutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "v1" {
+		t.Fatalf("read %q, want %q", b, "v1")
+	}
+	// Overwrite replaces the whole content.
+	if err := WriteFileAtomic(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = os.ReadFile(path)
+	if string(b) != "second" {
+		t.Fatalf("read %q after overwrite, want %q", b, "second")
+	}
+	// No temp-file litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestWriteFileAtomicPerm(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "locked")
+	if err := WriteFileAtomic(path, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Mode().Perm(); got != 0o600 {
+		t.Fatalf("perm %v, want 0600", got)
+	}
+}
+
+func TestWriteFileAtomicMissingDir(t *testing.T) {
+	err := WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), nil, 0o644)
+	if err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}
+
+func TestAppendSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.jsonl")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := AppendSync(f, []byte("a\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendSync(f, []byte("b\n")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "a\nb\n" {
+		t.Fatalf("log content %q, want %q", b, "a\nb\n")
+	}
+}

@@ -52,6 +52,12 @@ var DefaultConfig = Config{
 		"rmscale/internal/stats",
 		"rmscale/internal/audit",
 		"rmscale/internal/audit/chaos",
+		// The daemon and its load harness never let wall time or global
+		// RNG leak into simulation results; their few legitimate
+		// real-time reads (request timestamps, latency measurement,
+		// admission backoff) carry //lint:allow annotations at the site.
+		"rmscale/internal/service",
+		"rmscale/internal/service/loadgen",
 	},
 	Kernel: []string{
 		"rmscale/internal/sim",
@@ -67,6 +73,14 @@ var DefaultConfig = Config{
 		// kernel's no-concurrency discipline; the chaos harness above it
 		// drives the runner pool and is only simulation-visible.
 		"rmscale/internal/audit",
+		// The service daemon is concurrent by design — worker shards,
+		// HTTP handlers, a load generator — but every simulation it
+		// executes stays single-threaded underneath. Listing it here
+		// forces each concurrency site to justify itself with an
+		// annotation instead of letting sync primitives creep in
+		// unreviewed.
+		"rmscale/internal/service",
+		"rmscale/internal/service/loadgen",
 	},
 	// Map-iteration order can leak into any rendered table, figure,
 	// JSON file or checkpoint, so the whole module is covered.

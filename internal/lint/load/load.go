@@ -156,5 +156,11 @@ func (m mapImporter) Import(path string) (*types.Package, error) {
 	if p, ok := m[path]; ok {
 		return p, nil
 	}
+	// Standard-library packages import their vendored dependencies by
+	// the unvendored path (net -> golang.org/x/net/dns/dnsmessage), but
+	// `go list` reports those packages under the GOROOT vendor prefix.
+	if p, ok := m["vendor/"+path]; ok {
+		return p, nil
+	}
 	return nil, fmt.Errorf("package %q not loaded", path)
 }

@@ -1,11 +1,13 @@
 // Package perfbench is the repository's benchmark-regression harness.
 //
-// It runs the kernel micro-benchmarks and one smoke-fidelity grid
-// simulation per RMS model, condenses them into a small set of named
-// metrics (ns/event, allocs/event, events/sec, per-model engine
-// throughput) and emits a machine-readable report (the committed
-// BENCH_sim.json baseline). Compare gates a fresh report against the
-// baseline:
+// It runs the kernel micro-benchmarks, one smoke-fidelity grid
+// simulation per RMS model, and one rmscaled load iteration (1000
+// experiment objects over HTTP against an in-process daemon, see
+// service.go), condenses them into a small set of named metrics
+// (ns/event, allocs/event, events/sec, per-model engine throughput,
+// service dedup counts and latency percentiles) and emits a
+// machine-readable report (the committed BENCH_sim.json baseline).
+// Compare gates a fresh report against the baseline:
 //
 //   - "exact" metrics (simulated event counts) are deterministic in the
 //     seed and must not move at all — a drift means the optimisation
@@ -77,6 +79,11 @@ func Run() (Report, error) {
 		}
 		rep.Metrics = append(rep.Metrics, ms...)
 	}
+	ms, err := serviceMetrics()
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Metrics = append(rep.Metrics, ms...)
 	sort.Slice(rep.Metrics, func(i, j int) bool {
 		return rep.Metrics[i].Name < rep.Metrics[j].Name
 	})

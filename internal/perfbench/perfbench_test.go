@@ -95,6 +95,9 @@ func TestHarnessSmoke(t *testing.T) {
 		"kernel/ticker/allocs_per_event",
 		"engine/CENTRAL/events",
 		"engine/LOWEST/allocs_per_event",
+		"service/loadgen/executions",
+		"service/loadgen/dedup_hits",
+		"service/dedup_hit/allocs",
 	}
 	have := make(map[string]bool, len(rep.Metrics))
 	for _, m := range rep.Metrics {

@@ -1,40 +1,16 @@
 package runner
 
 import (
-	"fmt"
 	"os"
-	"path/filepath"
+
+	"rmscale/internal/fsutil"
 )
 
 // WriteFileAtomic writes data to path so that readers never observe a
-// partial file: the bytes land in a temporary file in the same
-// directory, are flushed to stable storage, and are then renamed over
-// the destination. An interrupted writer leaves either the old content
-// or the new content, never a truncated mix.
+// partial file. It is internal/fsutil.WriteFileAtomic re-exported at
+// the runner's historical call site: the journal, the disk cache and
+// the progress reporter all commit through it, and the rmscaled result
+// store shares the same primitive from fsutil directly.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("runner: atomic write %s: %w", path, err)
-	}
-	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("runner: atomic write %s: %w", path, err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("runner: atomic write %s: %w", path, err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("runner: atomic write %s: %w", path, err)
-	}
-	if err := os.Chmod(tmpName, perm); err != nil {
-		return fmt.Errorf("runner: atomic write %s: %w", path, err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		return fmt.Errorf("runner: atomic write %s: %w", path, err)
-	}
-	return nil
+	return fsutil.WriteFileAtomic(path, data, perm)
 }

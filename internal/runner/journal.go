@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+
+	"rmscale/internal/fsutil"
 )
 
 // journalName is the journal file inside a run directory.
@@ -130,12 +133,8 @@ func (j *Journal) appendLine(v any) error {
 	if err != nil {
 		return fmt.Errorf("runner: journal encode: %w", err)
 	}
-	b = append(b, '\n')
-	if _, err := j.f.Write(b); err != nil {
-		return fmt.Errorf("runner: journal append: %w", err)
-	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("runner: journal sync: %w", err)
+	if err := fsutil.AppendSync(j.f, append(b, '\n')); err != nil {
+		return fmt.Errorf("runner: journal: %w", err)
 	}
 	return nil
 }
@@ -173,6 +172,31 @@ func (j *Journal) Lookup(id string, out any) (bool, error) {
 		return false, fmt.Errorf("runner: journal decode %s: %w", id, err)
 	}
 	return true, nil
+}
+
+// Each calls fn for every journaled record, in lexicographic ID order
+// so iteration is deterministic regardless of append order. It is how
+// a service restart discovers work that was accepted but not finished:
+// the daemon replays the journal and re-queues every entry without a
+// committed result. fn must not call back into the journal.
+func (j *Journal) Each(fn func(id string, data json.RawMessage) error) error {
+	j.mu.Lock()
+	ids := make([]string, 0, len(j.entries))
+	for id := range j.entries { //lint:orderindependent ids are re-sorted below before use
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	snapshot := make([]json.RawMessage, len(ids))
+	for i, id := range ids {
+		snapshot[i] = j.entries[id]
+	}
+	j.mu.Unlock()
+	for i, id := range ids {
+		if err := fn(id, snapshot[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Len reports how many completed work units the journal holds.

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -150,4 +151,41 @@ func TestJournalRejectsGarbage(t *testing.T) {
 
 func pointName(i int) string {
 	return "case1/LOWEST/k=" + string(rune('0'+i))
+}
+
+func TestJournalEach(t *testing.T) {
+	j, _, err := OpenJournal(t.TempDir(), "fp-each")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	// Record out of lexicographic order; Each must iterate sorted.
+	for _, id := range []string{"exp/bb", "exp/aa", "exp/cc"} {
+		if err := j.Record(id, fakePoint{K: len(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	if err := j.Each(func(id string, data json.RawMessage) error {
+		if len(data) == 0 {
+			t.Errorf("entry %s has empty payload", id)
+		}
+		got = append(got, id)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"exp/aa", "exp/bb", "exp/cc"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Each order %v, want %v", got, want)
+	}
+	// An fn error aborts the walk and propagates.
+	calls := 0
+	err = j.Each(func(id string, data json.RawMessage) error {
+		calls++
+		return os.ErrClosed
+	})
+	if err != os.ErrClosed || calls != 1 {
+		t.Fatalf("Each error propagation: err=%v calls=%d", err, calls)
+	}
 }

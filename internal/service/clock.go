@@ -1,0 +1,18 @@
+package service
+
+import "time"
+
+// Clock is the daemon's injectable time source. Production uses the
+// wall clock (request timestamps, latency accounting, Retry-After);
+// tests inject a fixed clock so log output and status timestamps are
+// reproducible. Nothing simulation-visible ever flows from it — sim
+// results depend only on the spec — which is why the single wall-clock
+// read below is a sanctioned, annotated exception to the module's
+// nowallclock rule.
+type Clock func() time.Time
+
+// wallClock is the one real wall-clock read site in the service layer.
+func wallClock() time.Time {
+	//lint:allow nowallclock the daemon timestamps logs and measures request latency; simulation results never depend on wall time
+	return time.Now()
+}

@@ -1,0 +1,276 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func postSpec(t *testing.T, url string, spec ExperimentSpec, client string) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/experiments", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Rmscale-Client", client)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body
+}
+
+// TestHTTPEndToEnd drives the full client journey against the real
+// executor: submit a sim experiment, stream its progress to
+// completion, fetch the stored result.
+func TestHTTPEndToEnd(t *testing.T) {
+	d, err := New(Config{Dir: t.TempDir(), Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	srv := httptest.NewServer(NewServer(d).Handler())
+	defer srv.Close()
+
+	spec := ExperimentSpec{Kind: KindSim, Model: "LOWEST", Seed: 1, Horizon: 250}
+	resp, body := postSpec(t, srv.URL, spec, "e2e")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	if st.ID == "" || st.State.Terminal() {
+		t.Fatalf("submit status = %+v, want a queued/running experiment", st)
+	}
+
+	// Stream until terminal: one JSON line per state change.
+	streamResp, err := http.Get(srv.URL + "/v1/experiments/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+	if ct := streamResp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type = %q", ct)
+	}
+	dec := json.NewDecoder(streamResp.Body)
+	var last Status
+	lines := 0
+	for {
+		if err := dec.Decode(&last); err != nil {
+			t.Fatalf("stream decode after %d lines: %v", lines, err)
+		}
+		lines++
+		if last.State.Terminal() {
+			break
+		}
+	}
+	if last.State != StateDone {
+		t.Fatalf("experiment ended %s: %s", last.State, last.Error)
+	}
+
+	resp, body = get(t, srv.URL+"/v1/experiments/"+st.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var res Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("decoding result: %v", err)
+	}
+	if res.Spec != spec {
+		t.Fatalf("result spec = %+v, want %+v (self-describing envelope)", res.Spec, spec)
+	}
+	if res.Summary == nil || res.Summary.Jobs == 0 {
+		t.Fatalf("result summary = %+v, want a completed simulation", res.Summary)
+	}
+
+	if resp, _ := get(t, srv.URL+"/v1/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+	resp, body = get(t, srv.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: HTTP %d", resp.StatusCode)
+	}
+	var stats Stats
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executions != 1 || stats.Completed != 1 {
+		t.Fatalf("stats = %+v, want one completed execution", stats)
+	}
+}
+
+// TestHTTPDedupByteIdentical pins the cross-client dedup contract over
+// the wire: two identical submissions yield one execution and
+// byte-identical result payloads.
+func TestHTTPDedupByteIdentical(t *testing.T) {
+	d, err := New(Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	srv := httptest.NewServer(NewServer(d).Handler())
+	defer srv.Close()
+
+	spec := ExperimentSpec{Kind: KindSim, Model: "CENTRAL", Seed: 5, Horizon: 250}
+	resp, body := postSpec(t, srv.URL, spec, "alice")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 1: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	fin := waitTerminal(t, d, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("experiment ended %s: %s", fin.State, fin.Error)
+	}
+
+	// The second, identical submission answers 200 from the store.
+	resp, body = postSpec(t, srv.URL, spec, "bob")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dedup submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var st2 Status
+	if err := json.Unmarshal(body, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Dedup || st2.ID != st.ID {
+		t.Fatalf("dedup submit status = %+v, want dedup of %s", st2, st.ID)
+	}
+
+	_, b1 := get(t, srv.URL+"/v1/experiments/"+st.ID+"/result")
+	_, b2 := get(t, srv.URL+"/v1/experiments/"+st.ID+"/result")
+	if !bytes.Equal(b1, b2) || len(b1) == 0 {
+		t.Fatal("result fetches are not byte-identical")
+	}
+	s := d.Stats()
+	if s.Executions != 1 || s.DedupHits() != 1 {
+		t.Fatalf("stats = %+v, want executions=1 dedup=1", s)
+	}
+}
+
+// TestHTTPAdmission429 pins the saturation surface: HTTP 429 with a
+// Retry-After hint when the queue is full, and acceptance again once
+// it drains.
+func TestHTTPAdmission429(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	exec := func(ctx context.Context, spec ExperimentSpec, dir string) ([]byte, error) {
+		started <- struct{}{}
+		<-release
+		return fakeExec(ctx, spec, dir)
+	}
+	d, err := New(Config{Shards: 1, QueueCap: 1, Exec: exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	srv := httptest.NewServer(NewServer(d).Handler())
+	defer srv.Close()
+
+	mk := func(seed int64) ExperimentSpec {
+		return ExperimentSpec{Kind: KindSim, Model: "LOWEST", Seed: seed}
+	}
+	resp, body := postSpec(t, srv.URL, mk(1), "a")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 1: HTTP %d: %s", resp.StatusCode, body)
+	}
+	<-started // shard busy; queue empty
+	resp, body = postSpec(t, srv.URL, mk(2), "b")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 2: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var queued Status
+	if err := json.Unmarshal(body, &queued); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body = postSpec(t, srv.URL, mk(3), "c")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit at capacity: HTTP %d: %s, want 429", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+	var e errorBody
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("429 body = %q, want an error payload", body)
+	}
+
+	close(release)
+	if fin := waitTerminal(t, d, queued.ID); fin.State != StateDone {
+		t.Fatalf("queued experiment ended %s", fin.State)
+	}
+	// Capacity is available again: the refused spec now lands.
+	resp, _ = postSpec(t, srv.URL, mk(3), "c")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit after drain: HTTP %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestHTTPResultStates pins the result endpoint's non-200 answers:
+// 404 for unknown IDs, 409 with a status body while unfinished.
+func TestHTTPResultStates(t *testing.T) {
+	release := make(chan struct{})
+	exec := func(ctx context.Context, spec ExperimentSpec, dir string) ([]byte, error) {
+		<-release
+		return fakeExec(ctx, spec, dir)
+	}
+	d, err := New(Config{Shards: 1, Exec: exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	srv := httptest.NewServer(NewServer(d).Handler())
+	defer srv.Close()
+
+	if resp, _ := get(t, srv.URL+"/v1/experiments/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown status: HTTP %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, srv.URL+"/v1/experiments/nope/result"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown result: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	spec := ExperimentSpec{Kind: KindSim, Model: "LOWEST", Seed: 1}
+	resp, body := postSpec(t, srv.URL, spec, "a")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = get(t, srv.URL+"/v1/experiments/"+st.ID+"/result")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("unfinished result: HTTP %d, want 409", resp.StatusCode)
+	}
+	var pending Status
+	if err := json.Unmarshal(body, &pending); err != nil || pending.State.Terminal() {
+		t.Fatalf("409 body = %s, want the pending status", body)
+	}
+	close(release)
+	waitTerminal(t, d, st.ID)
+}

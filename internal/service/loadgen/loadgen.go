@@ -1,0 +1,407 @@
+// Package loadgen is the scale-qualifying load harness for rmscaled.
+//
+// One iteration submits Objects experiment submissions drawn from
+// Distinct underlying specs through the full HTTP API with Clients
+// concurrent clients, waits for every distinct experiment to finish
+// (via the streaming endpoint — no polling sleep), fetches every
+// result, and then audits the daemon's accounting:
+//
+//   - every distinct spec executed exactly once (dedup collapsed the
+//     other Objects-Distinct submissions onto in-flight work or the
+//     shared store);
+//   - no execution failed;
+//   - the result store holds exactly Distinct payloads.
+//
+// The audited counts are deterministic in the options, which is what
+// lets internal/perfbench gate them exactly; the latency percentiles,
+// throughput and queue-depth peaks it also reports are machine-load
+// facts, recorded ungated for trend reading — the same split
+// contiv/netplugin's policyScale and OSM's scale framework use.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	//lint:allow nokernelgoroutines the load generator's concurrent clients are the point of the harness; the simulations they trigger run single-threaded in the daemon
+	"sync"
+	"time"
+
+	"rmscale/internal/rms"
+	"rmscale/internal/service"
+	"rmscale/internal/stats"
+)
+
+// now is the harness's one wall-clock read site: client-observed
+// latency is wall time by definition.
+func now() time.Time {
+	//lint:allow nowallclock the load harness measures real client-observed latency; nothing simulation-visible flows from it
+	return time.Now()
+}
+
+// backoff pauses a client that was refused with 429 before it retries.
+func backoff(attempt int) {
+	d := time.Duration(attempt) * time.Millisecond
+	if d > 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	//lint:allow nowallclock admission-control backoff is real-time flow control in the load client, outside any simulation
+	time.Sleep(d)
+}
+
+// Options configures one load iteration.
+type Options struct {
+	// BaseURL targets a running rmscaled (e.g. "http://127.0.0.1:8080").
+	BaseURL string
+	// Objects is the total number of submissions; <= 0 picks 1000.
+	Objects int
+	// Distinct is the number of distinct specs the submissions are
+	// drawn from; <= 0 picks Objects/8 (minimum 1). Must not exceed
+	// Objects.
+	Distinct int
+	// Clients is the number of concurrent client workers; <= 0 picks 8.
+	Clients int
+	// Seed diversifies the distinct specs; same seed, same spec set.
+	Seed int64
+	// Horizon is the simulated duration of each "sim" object; <= 0
+	// picks 250 (a few-millisecond simulation).
+	Horizon float64
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (o *Options) defaults() error {
+	if o.Objects <= 0 {
+		o.Objects = 1000
+	}
+	if o.Distinct <= 0 {
+		o.Distinct = o.Objects / 8
+		if o.Distinct < 1 {
+			o.Distinct = 1
+		}
+	}
+	if o.Distinct > o.Objects {
+		return fmt.Errorf("loadgen: Distinct %d exceeds Objects %d", o.Distinct, o.Objects)
+	}
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 250
+	}
+	return nil
+}
+
+// Metrics is the outcome of one load iteration.
+type Metrics struct {
+	Objects  int `json:"objects"`
+	Distinct int `json:"distinct"`
+	Clients  int `json:"clients"`
+
+	// Deterministic accounting (exact-gated in perfbench).
+	Executions int64 `json:"executions"`
+	DedupHits  int64 `json:"dedup_hits"`
+	StoreLen   int   `json:"store_len"`
+
+	// Client-side admission pressure: submissions that were refused
+	// with 429 and retried until accepted.
+	Retries429 int64 `json:"retries_429"`
+
+	// Latency percentiles in milliseconds, per request type.
+	SubmitP50Ms float64 `json:"submit_p50_ms"`
+	SubmitP99Ms float64 `json:"submit_p99_ms"`
+	StatusP50Ms float64 `json:"status_p50_ms"`
+	StatusP99Ms float64 `json:"status_p99_ms"`
+	FetchP50Ms  float64 `json:"fetch_p50_ms"`
+	FetchP99Ms  float64 `json:"fetch_p99_ms"`
+
+	// Throughput: completed objects per wall second.
+	ObjectsPerSec float64 `json:"objects_per_sec"`
+	WallSec       float64 `json:"wall_sec"`
+
+	// Daemon-side peaks.
+	MaxQueueDepth int `json:"max_queue_depth"`
+}
+
+// specAt derives the j-th distinct spec: models rotate through the
+// paper's roster, seeds advance, the horizon keeps each simulation a
+// few milliseconds.
+func specAt(o Options, j int) service.ExperimentSpec {
+	names := rms.Names()
+	return service.ExperimentSpec{
+		Kind:    service.KindSim,
+		Model:   names[j%len(names)],
+		Seed:    o.Seed + int64(j),
+		Horizon: o.Horizon,
+	}
+}
+
+// client is one load worker's HTTP state plus locally collected
+// samples (merged after the join, so no lock contention during the
+// run).
+type client struct {
+	id      string
+	http    *http.Client
+	base    string
+	submit  []float64
+	status  []float64
+	fetch   []float64
+	retries int64
+}
+
+func (c *client) get(path string, samples *[]float64) (int, []byte, error) {
+	t0 := now()
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("X-Rmscale-Client", c.id)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if samples != nil {
+		*samples = append(*samples, float64(now().Sub(t0).Microseconds())/1000)
+	}
+	return resp.StatusCode, body, err
+}
+
+// submitOne POSTs the spec, retrying on 429 until accepted.
+func (c *client) submitOne(spec service.ExperimentSpec) error {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	for attempt := 1; ; attempt++ {
+		t0 := now()
+		req, err := http.NewRequest(http.MethodPost, c.base+"/v1/experiments", bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Rmscale-Client", c.id)
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusAccepted:
+			c.submit = append(c.submit, float64(now().Sub(t0).Microseconds())/1000)
+			return nil
+		case http.StatusTooManyRequests:
+			c.retries++
+			backoff(attempt)
+		default:
+			return fmt.Errorf("loadgen: submit %s: HTTP %d: %s", spec, resp.StatusCode, body)
+		}
+	}
+}
+
+// awaitDone streams the experiment's status until it is terminal.
+func (c *client) awaitDone(id string) error {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/v1/experiments/"+id+"/stream", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Rmscale-Client", c.id)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: stream %s: HTTP %d", id, resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var last service.Status
+	for {
+		if err := dec.Decode(&last); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return fmt.Errorf("loadgen: stream %s: %w", id, err)
+		}
+		if last.State.Terminal() {
+			break
+		}
+	}
+	if last.State != service.StateDone {
+		return fmt.Errorf("loadgen: experiment %s ended %s: %s", id, last.State, last.Error)
+	}
+	return nil
+}
+
+// Run drives one load iteration against the daemon at opts.BaseURL.
+func Run(opts Options) (Metrics, error) {
+	if err := opts.defaults(); err != nil {
+		return Metrics{}, err
+	}
+	ids := make([]string, opts.Distinct)
+	for j := range ids {
+		id, err := specAt(opts, j).ID()
+		if err != nil {
+			return Metrics{}, err
+		}
+		ids[j] = id
+	}
+
+	clients := make([]*client, opts.Clients)
+	for c := range clients {
+		clients[c] = &client{
+			id:   fmt.Sprintf("loadgen-%d", c),
+			http: &http.Client{},
+			base: opts.BaseURL,
+		}
+	}
+
+	start := now()
+	var wg sync.WaitGroup
+	errs := make([]error, opts.Clients)
+	for c := range clients {
+		wg.Add(1)
+		//lint:allow nokernelgoroutines one goroutine per concurrent load client is the harness's reason to exist
+		go func(c int) {
+			defer wg.Done()
+			cl := clients[c]
+			// Submission phase: worker c owns submissions i ≡ c (mod
+			// Clients); submission i carries spec i mod Distinct, so
+			// every spec is submitted ~Objects/Distinct times.
+			for i := c; i < opts.Objects; i += opts.Clients {
+				if err := cl.submitOne(specAt(opts, i%opts.Distinct)); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+			// Completion phase: worker c waits on distinct specs j ≡ c
+			// (mod Clients) — one status poll for the latency sample,
+			// then the stream until terminal, then the result fetch.
+			for j := c; j < opts.Distinct; j += opts.Clients {
+				code, _, err := cl.get("/v1/experiments/"+ids[j], &cl.status)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if code != http.StatusOK {
+					errs[c] = fmt.Errorf("loadgen: status %s: HTTP %d", ids[j], code)
+					return
+				}
+				if err := cl.awaitDone(ids[j]); err != nil {
+					errs[c] = err
+					return
+				}
+				code, body, err := cl.get("/v1/experiments/"+ids[j]+"/result", &cl.fetch)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if code != http.StatusOK || len(body) == 0 {
+					errs[c] = fmt.Errorf("loadgen: result %s: HTTP %d (%d bytes)", ids[j], code, len(body))
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := now().Sub(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return Metrics{}, err
+		}
+	}
+
+	// Final accounting from the daemon, then the dedup audit.
+	code, body, err := clients[0].get("/v1/stats", nil)
+	if err != nil {
+		return Metrics{}, err
+	}
+	if code != http.StatusOK {
+		return Metrics{}, fmt.Errorf("loadgen: stats: HTTP %d", code)
+	}
+	var st service.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		return Metrics{}, fmt.Errorf("loadgen: decoding stats: %w", err)
+	}
+
+	m := Metrics{
+		Objects:       opts.Objects,
+		Distinct:      opts.Distinct,
+		Clients:       opts.Clients,
+		Executions:    st.Executions,
+		DedupHits:     st.DedupHits(),
+		StoreLen:      st.StoreLen,
+		WallSec:       wall,
+		MaxQueueDepth: st.MaxQueueDepth,
+	}
+	if wall > 0 {
+		m.ObjectsPerSec = float64(opts.Objects) / wall
+	}
+	var submit, status, fetch []float64
+	for _, cl := range clients {
+		submit = append(submit, cl.submit...)
+		status = append(status, cl.status...)
+		fetch = append(fetch, cl.fetch...)
+		m.Retries429 += cl.retries
+	}
+	m.SubmitP50Ms, m.SubmitP99Ms = pctl(submit)
+	m.StatusP50Ms, m.StatusP99Ms = pctl(status)
+	m.FetchP50Ms, m.FetchP99Ms = pctl(fetch)
+
+	// The audit: dedup must have collapsed every repeated submission.
+	switch {
+	case st.Failed != 0:
+		return m, fmt.Errorf("loadgen: %d execution(s) failed", st.Failed)
+	case m.Executions != int64(opts.Distinct):
+		return m, fmt.Errorf("loadgen: %d executions for %d distinct specs — dedup broke (every distinct spec must execute exactly once)",
+			m.Executions, opts.Distinct)
+	case m.DedupHits != int64(opts.Objects-opts.Distinct):
+		return m, fmt.Errorf("loadgen: %d dedup hits for %d submissions over %d specs, want %d",
+			m.DedupHits, opts.Objects, opts.Distinct, opts.Objects-opts.Distinct)
+	case m.StoreLen != opts.Distinct:
+		return m, fmt.Errorf("loadgen: store holds %d results, want %d", m.StoreLen, opts.Distinct)
+	}
+	if opts.Log != nil {
+		fmt.Fprintf(opts.Log, "loadgen: %d objects (%d distinct) in %.2fs: %.0f obj/s, submit p99 %.2fms, %d retries, queue peak %d\n",
+			opts.Objects, opts.Distinct, wall, m.ObjectsPerSec, m.SubmitP99Ms, m.Retries429, m.MaxQueueDepth)
+	}
+	return m, nil
+}
+
+// pctl returns the p50 and p99 of the samples (0 when empty).
+func pctl(xs []float64) (p50, p99 float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	return stats.Percentile(xs, 50), stats.Percentile(xs, 99)
+}
+
+// RunInProcess starts a daemon with cfg, serves it on a loopback
+// listener, runs one load iteration against it and tears everything
+// down. It is what `rmscaled loadtest`, the perfbench service metrics
+// and `make loadtest` share.
+func RunInProcess(opts Options, cfg service.Config) (Metrics, error) {
+	d, err := service.New(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	defer d.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Metrics{}, err
+	}
+	srv := &http.Server{Handler: service.NewServer(d).Handler()}
+	//lint:allow nokernelgoroutines the HTTP server needs its own accept loop while the harness drives requests from this goroutine
+	go srv.Serve(ln)
+	defer srv.Close()
+	opts.BaseURL = "http://" + ln.Addr().String()
+	return Run(opts)
+}

@@ -1,0 +1,47 @@
+package loadgen
+
+import (
+	"testing"
+
+	"rmscale/internal/service"
+)
+
+// TestRunInProcessSmoke runs a scaled-down load iteration against a
+// real daemon (real executor, disk-backed store) and checks the
+// harness's own audit plus its reported metrics.
+func TestRunInProcessSmoke(t *testing.T) {
+	opts := Options{Objects: 120, Distinct: 15, Clients: 4, Horizon: 200}
+	m, err := RunInProcess(opts, service.Config{Dir: t.TempDir(), Shards: 2, QueueCap: 64})
+	if err != nil {
+		t.Fatalf("RunInProcess: %v", err)
+	}
+	if m.Executions != 15 {
+		t.Fatalf("executions = %d, want 15", m.Executions)
+	}
+	if m.DedupHits != 105 {
+		t.Fatalf("dedup hits = %d, want 105", m.DedupHits)
+	}
+	if m.StoreLen != 15 {
+		t.Fatalf("store len = %d, want 15", m.StoreLen)
+	}
+	if m.ObjectsPerSec <= 0 || m.WallSec <= 0 {
+		t.Fatalf("throughput not measured: %+v", m)
+	}
+	if m.SubmitP99Ms < m.SubmitP50Ms {
+		t.Fatalf("p99 %.3f < p50 %.3f", m.SubmitP99Ms, m.SubmitP50Ms)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if err := o.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Objects != 1000 || o.Distinct != 125 || o.Clients != 8 || o.Seed != 1 || o.Horizon != 250 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	bad := Options{Objects: 10, Distinct: 20}
+	if err := bad.defaults(); err == nil {
+		t.Fatal("Distinct > Objects accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSaturated is returned by Submit when the job queue is at
+// capacity. The HTTP layer maps it to 429 Too Many Requests with a
+// Retry-After header: under overload the service sheds new work
+// explicitly instead of queueing without bound.
+var ErrSaturated = errors.New("service: job queue saturated")
+
+// ErrDraining is returned by Submit once a graceful shutdown has
+// begun; the HTTP layer maps it to 503 Service Unavailable.
+var ErrDraining = errors.New("service: daemon is draining")
+
+// fairQueue is a bounded multi-client FIFO with round-robin dispatch:
+// each client gets a private FIFO, and pop serves clients in rotation,
+// so one client flooding the queue delays its own backlog, not
+// everyone else's. It is not self-locking — the daemon's mutex guards
+// every call — and it is deterministic: the dispatch order is a pure
+// function of the push/pop call sequence.
+type fairQueue struct {
+	cap     int
+	size    int
+	pending map[string][]*Experiment // client -> FIFO
+	ring    []string                 // clients with pending work, rotation order
+	next    int                      // ring index served next
+}
+
+func newFairQueue(capacity int) *fairQueue {
+	return &fairQueue{cap: capacity, pending: make(map[string][]*Experiment)}
+}
+
+// push enqueues e for the client. force bypasses the capacity check —
+// used for journal-resumed work, which was admitted by a previous
+// incarnation of the daemon and must not bounce off its own backlog.
+func (q *fairQueue) push(client string, e *Experiment, force bool) error {
+	if !force && q.size >= q.cap {
+		return fmt.Errorf("%w: %d queued (capacity %d)", ErrSaturated, q.size, q.cap)
+	}
+	if len(q.pending[client]) == 0 {
+		// Joining (or re-joining) clients enter the rotation just
+		// before the currently served position, i.e. at the back of the
+		// round-robin order.
+		if q.next == 0 {
+			q.ring = append(q.ring, client)
+		} else {
+			q.ring = append(q.ring[:q.next:q.next], append([]string{client}, q.ring[q.next:]...)...)
+			q.next++
+		}
+	}
+	q.pending[client] = append(q.pending[client], e)
+	q.size++
+	return nil
+}
+
+// pop dequeues the next experiment in round-robin client order, or
+// reports false when the queue is empty.
+func (q *fairQueue) pop() (*Experiment, bool) {
+	if q.size == 0 {
+		return nil, false
+	}
+	if q.next >= len(q.ring) {
+		q.next = 0
+	}
+	client := q.ring[q.next]
+	fifo := q.pending[client]
+	e := fifo[0]
+	if len(fifo) == 1 {
+		delete(q.pending, client)
+		q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+		// q.next now points at the following client already.
+	} else {
+		q.pending[client] = fifo[1:]
+		q.next++
+	}
+	q.size--
+	return e, true
+}
+
+// depth reports how many experiments are queued.
+func (q *fairQueue) depth() int { return q.size }

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func exp(client string, n int) *Experiment {
+	return &Experiment{ID: fmt.Sprintf("%s-%d", client, n), Client: client}
+}
+
+// TestFairQueueRoundRobin pins the fairness contract: a client that
+// floods the queue delays its own backlog, not other clients'.
+func TestFairQueueRoundRobin(t *testing.T) {
+	q := newFairQueue(16)
+	// A floods with 3, then B and C each submit 1.
+	for i := 0; i < 3; i++ {
+		if err := q.push("A", exp("A", i), false); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	q.push("B", exp("B", 0), false)
+	q.push("C", exp("C", 0), false)
+
+	want := []string{"A-0", "B-0", "C-0", "A-1", "A-2"}
+	for i, w := range want {
+		e, ok := q.pop()
+		if !ok {
+			t.Fatalf("pop %d: queue empty, want %s", i, w)
+		}
+		if e.ID != w {
+			t.Fatalf("pop %d = %s, want %s (round-robin order)", i, e.ID, w)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestFairQueueMidstreamJoin pins that a client joining mid-rotation
+// enters at the back of the round-robin order, not the front.
+func TestFairQueueMidstreamJoin(t *testing.T) {
+	q := newFairQueue(16)
+	q.push("A", exp("A", 0), false)
+	q.push("A", exp("A", 1), false)
+	q.push("B", exp("B", 0), false)
+	if e, _ := q.pop(); e.ID != "A-0" {
+		t.Fatalf("pop = %s, want A-0", e.ID)
+	}
+	// C joins while the rotation sits between B and A.
+	q.push("C", exp("C", 0), false)
+	want := []string{"B-0", "A-1", "C-0"}
+	for i, w := range want {
+		e, ok := q.pop()
+		if !ok || e.ID != w {
+			t.Fatalf("pop %d = %v, want %s", i, e, w)
+		}
+	}
+}
+
+func TestFairQueueCapacity(t *testing.T) {
+	q := newFairQueue(2)
+	if err := q.push("A", exp("A", 0), false); err != nil {
+		t.Fatalf("push 1: %v", err)
+	}
+	if err := q.push("B", exp("B", 0), false); err != nil {
+		t.Fatalf("push 2: %v", err)
+	}
+	err := q.push("C", exp("C", 0), false)
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("push at capacity = %v, want ErrSaturated", err)
+	}
+	if q.depth() != 2 {
+		t.Fatalf("depth = %d, want 2", q.depth())
+	}
+	// force bypasses admission control (journal-resumed work).
+	if err := q.push("C", exp("C", 1), true); err != nil {
+		t.Fatalf("force push: %v", err)
+	}
+	if q.depth() != 3 {
+		t.Fatalf("depth after force = %d, want 3", q.depth())
+	}
+}

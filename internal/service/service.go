@@ -1,0 +1,520 @@
+// Package service is rmscaled, the long-lived experiment service: it
+// wraps the repository's execution substrate — the runner's
+// content-addressed caching and checkpoint journal, the audited
+// simulation engines, the experiment drivers — behind a daemon that
+// serves many concurrent clients.
+//
+// The contract is content addressing end to end. A client submits an
+// ExperimentSpec; the daemon derives its deterministic content address
+// (the experiment ID), and that ID is the whole coordination story:
+//
+//   - identical specs from any number of clients dedupe to one
+//     execution, sharing one stored, byte-identical result;
+//   - the result store is immutable and shareable — an ID's payload
+//     never changes once written;
+//   - a restart resumes from the submission journal: accepted-but-
+//     unfinished experiments re-queue, finished ones are served from
+//     the store.
+//
+// Production concerns are layered on top: a bounded job queue with
+// admission control (saturation is refused, not buffered), per-client
+// round-robin fairness, a configurable number of worker shards over
+// the executor, graceful drain on SIGTERM with journal checkpointing,
+// and structured request logging. The architectural precedent is
+// Nimrod/G's persistent experiment service; the qualification story
+// (thousands of objects per iteration, latency and dedup gates) lives
+// in the loadgen subpackage and internal/perfbench.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	//lint:allow nokernelgoroutines the daemon's shard pool, state mutex and condition variable are the service layer's concurrency; simulations it runs stay single-threaded underneath
+	"sync"
+
+	"rmscale/internal/runner"
+)
+
+// journalFingerprint guards the daemon's journal format.
+const journalFingerprint = "rmscaled/v1"
+
+// expPrefix prefixes submission records in the journal.
+const expPrefix = "exp/"
+
+// State is an experiment's lifecycle position.
+type State string
+
+// Experiment states. Queued and Running are transient; Done and
+// Failed are terminal.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Experiment is the daemon's record of one distinct submitted spec.
+type Experiment struct {
+	ID     string
+	Spec   ExperimentSpec
+	Client string // client that first submitted it
+	State  State
+	Err    string // non-empty iff State == StateFailed
+}
+
+// Status is the client-visible snapshot of an experiment.
+type Status struct {
+	ID    string         `json:"id"`
+	State State          `json:"state"`
+	Spec  ExperimentSpec `json:"spec"`
+	Error string         `json:"error,omitempty"`
+	// Dedup marks a submission that joined existing work (in-flight or
+	// already stored) instead of queueing a new execution.
+	Dedup bool `json:"dedup,omitempty"`
+	// Progress carries the runner's runstate.json for a running
+	// case/churn experiment, when available.
+	Progress *runner.Snapshot `json:"progress,omitempty"`
+}
+
+// Stats is the daemon-wide accounting surface (the /v1/stats payload
+// and the source of the load harness's gated metrics).
+type Stats struct {
+	Submitted     int64 `json:"submitted"`      // accepted submissions, dedup joins included
+	Executions    int64 `json:"executions"`     // executions started (distinct work)
+	Completed     int64 `json:"completed"`      // executions finished successfully
+	Failed        int64 `json:"failed"`         // executions finished in error
+	DedupInflight int64 `json:"dedup_inflight"` // submissions joined to queued/running work
+	DedupStore    int64 `json:"dedup_store"`    // submissions answered from the result store
+	Rejected      int64 `json:"rejected"`       // submissions refused with ErrSaturated
+	Resumed       int64 `json:"resumed"`        // experiments re-queued from the journal at startup
+	QueueDepth    int   `json:"queue_depth"`
+	MaxQueueDepth int   `json:"max_queue_depth"`
+	Running       int   `json:"running"`
+	StoreLen      int   `json:"store_len"`
+	Draining      bool  `json:"draining"`
+}
+
+// DedupHits is the total number of submissions that shared an existing
+// execution or stored result.
+func (s Stats) DedupHits() int64 { return s.DedupInflight + s.DedupStore }
+
+// Config parameterizes a Daemon.
+type Config struct {
+	// Dir is the service directory: submission journal, result store
+	// and per-experiment run directories live under it. Empty runs the
+	// daemon ephemerally (memory only, no resume).
+	Dir string
+	// Shards is the number of worker shards executing experiments
+	// concurrently; <= 0 picks 2.
+	Shards int
+	// QueueCap bounds the admission queue; <= 0 picks 256. A full
+	// queue refuses new submissions with ErrSaturated (HTTP 429).
+	QueueCap int
+	// CaseWorkers sizes the runner pool inside one case/churn
+	// execution; <= 0 picks 1 so shards do not oversubscribe each
+	// other.
+	CaseWorkers int
+	// Log, when non-nil, receives one structured JSON line per daemon
+	// event and HTTP request.
+	Log io.Writer
+	// Exec overrides the executor (tests); nil uses the production
+	// Executor.
+	Exec ExecFunc
+	// Clock overrides the time source (tests); nil uses the wall
+	// clock.
+	Clock Clock
+}
+
+// Daemon is a running rmscaled instance.
+type Daemon struct {
+	cfg     Config
+	store   *Store
+	journal *runner.Journal // nil when cfg.Dir is empty
+	exec    ExecFunc
+	clock   Clock
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	exps     map[string]*Experiment
+	queue    *fairQueue
+	stats    Stats
+	draining bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// submitRecord is the journaled form of one accepted submission.
+type submitRecord struct {
+	Spec   ExperimentSpec `json:"spec"`
+	Client string         `json:"client,omitempty"`
+}
+
+// New opens the service state under cfg.Dir (journal + result store),
+// re-queues journaled experiments that have no stored result, and
+// starts the worker shards.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 256
+	}
+	store, err := NewStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:   cfg,
+		store: store,
+		exec:  cfg.Exec,
+		clock: cfg.Clock,
+		exps:  make(map[string]*Experiment),
+		queue: newFairQueue(cfg.QueueCap),
+	}
+	if d.exec == nil {
+		d.exec = Executor{CaseWorkers: cfg.CaseWorkers}.Run
+	}
+	if d.clock == nil {
+		d.clock = wallClock
+	}
+	d.cond = sync.NewCond(&d.mu)
+	if cfg.Dir != "" {
+		j, _, err := runner.OpenJournal(cfg.Dir, journalFingerprint)
+		if err != nil {
+			return nil, err
+		}
+		d.journal = j
+		if err := d.resume(); err != nil {
+			j.Close()
+			return nil, err
+		}
+	}
+	d.logEvent("start", map[string]any{
+		"dir": cfg.Dir, "shards": cfg.Shards, "queue_cap": cfg.QueueCap,
+		"resumed": d.stats.Resumed,
+	})
+	d.wg.Add(cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		//lint:allow nokernelgoroutines worker shards parallelize whole experiments, the same layering as internal/runner; each shard's simulation remains single-threaded
+		go d.shard(i)
+	}
+	return d, nil
+}
+
+// resume replays the submission journal: every accepted experiment
+// without a committed result re-enters the queue (bypassing admission
+// control — it was admitted by the daemon incarnation that journaled
+// it), and finished ones are registered as done so status and result
+// queries keep answering across restarts.
+func (d *Daemon) resume() error {
+	return d.journal.Each(func(id string, data json.RawMessage) error {
+		if len(id) <= len(expPrefix) || id[:len(expPrefix)] != expPrefix {
+			return fmt.Errorf("service: journal holds foreign record %q", id)
+		}
+		eid := id[len(expPrefix):]
+		var rec submitRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return fmt.Errorf("service: journal record %s: %w", id, err)
+		}
+		if specID, err := rec.Spec.ID(); err != nil {
+			return err
+		} else if specID != eid {
+			return fmt.Errorf("service: journal record %s does not address its own spec %s (hashes to %s)",
+				id, rec.Spec, specID)
+		}
+		e := &Experiment{ID: eid, Spec: rec.Spec, Client: rec.Client}
+		if d.store.Has(eid) {
+			e.State = StateDone
+			d.exps[eid] = e
+			return nil
+		}
+		e.State = StateQueued
+		d.exps[eid] = e
+		if err := d.queue.push(rec.Client, e, true); err != nil {
+			return err
+		}
+		d.stats.Resumed++
+		d.logEvent("resume", map[string]any{"id": eid, "spec": rec.Spec.String()})
+		return nil
+	})
+}
+
+// Submit accepts one experiment submission from client. Identical
+// specs dedupe: the returned status reports Dedup when the submission
+// joined in-flight work or an already stored result. Saturation
+// returns ErrSaturated; a draining daemon returns ErrDraining for new
+// work (dedup reads still succeed).
+func (d *Daemon) Submit(spec ExperimentSpec, client string) (Status, error) {
+	if err := spec.Validate(); err != nil {
+		return Status{}, err
+	}
+	id, err := spec.ID()
+	if err != nil {
+		return Status{}, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.exps[id]; ok && e.State != StateFailed {
+		d.stats.Submitted++
+		if e.State == StateDone {
+			d.stats.DedupStore++
+		} else {
+			d.stats.DedupInflight++
+		}
+		st := d.statusLocked(e)
+		st.Dedup = true
+		return st, nil
+	}
+	if d.store.Has(id) {
+		// Stored by a previous daemon incarnation (or a sibling sharing
+		// the directory) that we have no in-process record of.
+		e := &Experiment{ID: id, Spec: spec, Client: client, State: StateDone}
+		d.exps[id] = e
+		d.stats.Submitted++
+		d.stats.DedupStore++
+		st := d.statusLocked(e)
+		st.Dedup = true
+		return st, nil
+	}
+	if d.draining || d.closed {
+		return Status{}, ErrDraining
+	}
+	// Admission control: check capacity first so a refused submission
+	// leaves no trace in the journal.
+	if d.queue.depth() >= d.queue.cap {
+		d.stats.Rejected++
+		d.logEvent("reject", map[string]any{"id": id, "client": client, "queue_depth": d.queue.depth()})
+		return Status{}, fmt.Errorf("%w: %d queued (capacity %d)", ErrSaturated, d.queue.depth(), d.queue.cap)
+	}
+	retry := false
+	if e, ok := d.exps[id]; ok && e.State == StateFailed {
+		// Resubmitting a failed spec retries it; the journal entry from
+		// the first acceptance still stands.
+		e.State = StateQueued
+		e.Err = ""
+		retry = true
+		if err := d.queue.push(client, e, false); err != nil {
+			e.State = StateFailed
+			return Status{}, err
+		}
+		d.stats.Submitted++
+		d.afterEnqueueLocked(e, client, retry)
+		return d.statusLocked(e), nil
+	}
+	if d.journal != nil {
+		if err := d.journal.Record(expPrefix+id, submitRecord{Spec: spec, Client: client}); err != nil {
+			return Status{}, err
+		}
+	}
+	e := &Experiment{ID: id, Spec: spec, Client: client, State: StateQueued}
+	if err := d.queue.push(client, e, false); err != nil {
+		// Unreachable after the capacity check above, but keep the
+		// journal honest if it ever fires: the entry will simply resume
+		// on restart.
+		return Status{}, err
+	}
+	d.exps[id] = e
+	d.stats.Submitted++
+	d.afterEnqueueLocked(e, client, retry)
+	return d.statusLocked(e), nil
+}
+
+// afterEnqueueLocked finishes bookkeeping common to fresh and retried
+// enqueues. Callers hold d.mu.
+func (d *Daemon) afterEnqueueLocked(e *Experiment, client string, retry bool) {
+	if depth := d.queue.depth(); depth > d.stats.MaxQueueDepth {
+		d.stats.MaxQueueDepth = depth
+	}
+	event := "submit"
+	if retry {
+		event = "retry"
+	}
+	d.logEvent(event, map[string]any{
+		"id": e.ID, "client": client, "spec": e.Spec.String(), "queue_depth": d.queue.depth(),
+	})
+	d.cond.Broadcast()
+}
+
+// Status returns the experiment's current snapshot.
+func (d *Daemon) Status(id string) (Status, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.exps[id]
+	if !ok {
+		return Status{}, false
+	}
+	return d.statusLocked(e), true
+}
+
+// statusLocked snapshots e; callers hold d.mu.
+func (d *Daemon) statusLocked(e *Experiment) Status {
+	st := Status{ID: e.ID, State: e.State, Spec: e.Spec, Error: e.Err}
+	if e.State == StateRunning && d.cfg.Dir != "" {
+		if b, err := os.ReadFile(filepath.Join(d.expDir(e.ID), "runstate.json")); err == nil {
+			var snap runner.Snapshot
+			if json.Unmarshal(b, &snap) == nil {
+				st.Progress = &snap
+			}
+		}
+	}
+	return st
+}
+
+// Result returns the stored result payload for a done experiment.
+func (d *Daemon) Result(id string) ([]byte, bool) {
+	return d.store.Get(id)
+}
+
+// Await blocks until the experiment's state differs from last, is
+// terminal, or the daemon shuts down, and returns the then-current
+// snapshot. It reports false when the ID is unknown. Callers drive
+// streaming with it: write each returned status and stop once it is
+// terminal, or unchanged from last (which means the daemon closed and
+// no further transition can come).
+func (d *Daemon) Await(id string, last State) (Status, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		e, ok := d.exps[id]
+		if !ok {
+			return Status{}, false
+		}
+		if e.State != last || e.State.Terminal() || d.closed {
+			return d.statusLocked(e), true
+		}
+		d.cond.Wait()
+	}
+}
+
+// Stats snapshots the daemon-wide accounting.
+func (d *Daemon) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	s.QueueDepth = d.queue.depth()
+	s.StoreLen = d.store.Len()
+	s.Draining = d.draining
+	return s
+}
+
+// expDir is the experiment's private run directory (runner journal,
+// disk cache, runstate.json for case/churn kinds).
+func (d *Daemon) expDir(id string) string {
+	if d.cfg.Dir == "" {
+		return ""
+	}
+	return filepath.Join(d.cfg.Dir, "exps", id)
+}
+
+// nextQueued blocks until an experiment is available and marks it
+// running, or returns nil when the daemon is draining or closed.
+func (d *Daemon) nextQueued() *Experiment {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.closed || d.draining {
+			return nil
+		}
+		if e, ok := d.queue.pop(); ok {
+			e.State = StateRunning
+			d.stats.Executions++
+			d.stats.Running++
+			d.cond.Broadcast()
+			return e
+		}
+		d.cond.Wait()
+	}
+}
+
+// shard is one worker loop: pop, execute, commit to the store, mark
+// terminal. On drain it finishes its current experiment and exits;
+// queued work stays journaled for the next incarnation.
+func (d *Daemon) shard(i int) {
+	defer d.wg.Done()
+	for {
+		e := d.nextQueued()
+		if e == nil {
+			return
+		}
+		d.logEvent("exec", map[string]any{"shard": i, "id": e.ID, "spec": e.Spec.String()})
+		b, err := d.exec(context.Background(), e.Spec, d.expDir(e.ID))
+		if err == nil {
+			err = d.store.Put(e.ID, b)
+		}
+		d.mu.Lock()
+		d.stats.Running--
+		if err != nil {
+			e.State = StateFailed
+			e.Err = err.Error()
+			d.stats.Failed++
+			d.logEvent("fail", map[string]any{"shard": i, "id": e.ID, "error": err.Error()})
+		} else {
+			e.State = StateDone
+			d.stats.Completed++
+			d.logEvent("done", map[string]any{"shard": i, "id": e.ID, "bytes": len(b)})
+		}
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	}
+}
+
+// Drain begins a graceful shutdown: new work is refused (dedup reads
+// still answer), shards finish their current experiments and stop, and
+// everything still queued stays checkpointed in the journal for the
+// next start. Drain blocks until the shards have exited.
+func (d *Daemon) Drain() {
+	d.mu.Lock()
+	already := d.draining
+	d.draining = true
+	d.cond.Broadcast()
+	queued := d.queue.depth()
+	d.mu.Unlock()
+	if !already {
+		d.logEvent("drain", map[string]any{"queued": queued})
+	}
+	d.wg.Wait()
+}
+
+// Close drains the daemon and releases the journal. Safe to call more
+// than once.
+func (d *Daemon) Close() error {
+	d.Drain()
+	d.mu.Lock()
+	d.closed = true
+	d.cond.Broadcast()
+	j := d.journal
+	d.journal = nil
+	d.mu.Unlock()
+	d.logEvent("close", nil)
+	if j != nil {
+		return j.Close()
+	}
+	return nil
+}
+
+// logEvent writes one structured JSON log line. Field maps marshal
+// with sorted keys, so log output is stable for tests.
+func (d *Daemon) logEvent(event string, fields map[string]any) {
+	if d.cfg.Log == nil {
+		return
+	}
+	line := map[string]any{
+		"ts":    d.clock().UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+		"event": event,
+	}
+	for k, v := range fields { //lint:orderindependent both maps marshal below with sorted keys
+		line[k] = v
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(d.cfg.Log, "%s\n", b)
+}

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecValidate(t *testing.T) {
+	valid := []ExperimentSpec{
+		{Kind: KindSim, Model: "LOWEST", Seed: 1},
+		{Kind: KindSim, Model: "CENTRAL", Seed: 7, Horizon: 250},
+		{Kind: KindCase, Case: 1, Fidelity: "smoke", Seed: 1},
+		{Kind: KindChurn, Case: 4, Fidelity: "quick", Seed: 3},
+	}
+	for _, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%s) = %v, want nil", s, err)
+		}
+	}
+
+	// Every rejection must carry the offending value so the submission
+	// can be fixed from the error alone.
+	invalid := []struct {
+		spec ExperimentSpec
+		want string // substring that is the offending value
+	}{
+		{ExperimentSpec{Kind: "batch"}, `"batch"`},
+		{ExperimentSpec{Kind: KindSim, Model: "NOPE"}, `"NOPE"`},
+		{ExperimentSpec{Kind: KindSim, Model: "LOWEST", Horizon: -5}, "-5"},
+		{ExperimentSpec{Kind: KindSim, Model: "LOWEST", Case: 2}, "case=2"},
+		{ExperimentSpec{Kind: KindSim, Model: "LOWEST", Fidelity: "smoke"}, `fidelity="smoke"`},
+		{ExperimentSpec{Kind: KindCase, Case: 0, Fidelity: "smoke"}, "case 0"},
+		{ExperimentSpec{Kind: KindCase, Case: 5, Fidelity: "smoke"}, "case 5"},
+		{ExperimentSpec{Kind: KindCase, Case: 2, Fidelity: "huge"}, `"huge"`},
+		{ExperimentSpec{Kind: KindCase, Case: 2, Fidelity: "smoke", Model: "RR"}, `model="RR"`},
+		{ExperimentSpec{Kind: KindChurn, Case: 2, Fidelity: "smoke", Horizon: 9}, "horizon=9"},
+	}
+	for _, tc := range invalid {
+		err := tc.spec.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Validate(%+v) = %q, want it to name the offending value %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	cases := []struct {
+		spec ExperimentSpec
+		want string
+	}{
+		{ExperimentSpec{Kind: KindSim, Model: "LOWEST", Seed: 1}, "spec{kind=sim seed=1 model=LOWEST}"},
+		{ExperimentSpec{Kind: KindSim, Model: "RESERVE", Seed: 2, Horizon: 250}, "spec{kind=sim seed=2 model=RESERVE horizon=250}"},
+		{ExperimentSpec{Kind: KindChurn, Seed: 3, Case: 4, Fidelity: "smoke"}, "spec{kind=churn seed=3 case=4 fidelity=smoke}"},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestSpecID(t *testing.T) {
+	a := ExperimentSpec{Kind: KindSim, Model: "LOWEST", Seed: 1}
+	b := ExperimentSpec{Kind: KindSim, Model: "LOWEST", Seed: 1}
+	idA, err := a.ID()
+	if err != nil {
+		t.Fatalf("ID: %v", err)
+	}
+	idB, _ := b.ID()
+	if idA != idB {
+		t.Errorf("identical specs hash differently: %s vs %s", idA, idB)
+	}
+	if len(idA) != 64 {
+		t.Errorf("ID %q: want 64 hex chars", idA)
+	}
+	c := ExperimentSpec{Kind: KindSim, Model: "LOWEST", Seed: 2}
+	if idC, _ := c.ID(); idC == idA {
+		t.Errorf("distinct specs collide on %s", idA)
+	}
+}

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	//lint:allow nokernelgoroutines the result store is shared by HTTP handler goroutines and daemon shards; a mutex over the memory tier is the service layer's concurrency, not the sim kernel's
+	"sync"
+
+	"rmscale/internal/fsutil"
+)
+
+// Store is the shared result store: a content-addressed map from
+// experiment ID to result payload, with a memory tier and an optional
+// disk tier under dir/results. Because IDs are content addresses,
+// a payload is immutable once written — Put never changes the bytes
+// under an existing ID — so clients may cache fetched results forever
+// and two daemons pointed at one directory serve identical bytes.
+type Store struct {
+	mu  sync.Mutex
+	mem map[string][]byte
+	dir string // "" = memory only
+}
+
+// NewStore returns a store persisting under dir/results, or a purely
+// in-memory store when dir is empty.
+func NewStore(dir string) (*Store, error) {
+	s := &Store{mem: make(map[string][]byte)}
+	if dir != "" {
+		s.dir = filepath.Join(dir, "results")
+		if err := os.MkdirAll(s.dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: result store dir: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Get returns the payload stored under id. Disk hits are promoted into
+// the memory tier.
+func (s *Store) Get(id string) ([]byte, bool) {
+	s.mu.Lock()
+	b, ok := s.mem[id]
+	s.mu.Unlock()
+	if ok {
+		return b, true
+	}
+	if s.dir != "" {
+		if b, err := os.ReadFile(filepath.Join(s.dir, id+".json")); err == nil {
+			s.mu.Lock()
+			s.mem[id] = b
+			s.mu.Unlock()
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// Has reports whether a result is stored under id without reading it
+// into memory.
+func (s *Store) Has(id string) bool {
+	s.mu.Lock()
+	_, ok := s.mem[id]
+	s.mu.Unlock()
+	if ok {
+		return true
+	}
+	if s.dir != "" {
+		if _, err := os.Stat(filepath.Join(s.dir, id+".json")); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Put stores the payload under id in memory and, when disk-backed,
+// atomically on disk (temp file + fsync + rename via fsutil), so a
+// crash mid-write never leaves a truncated result for another client
+// to fetch. The caller must not mutate b after the call.
+func (s *Store) Put(id string, b []byte) error {
+	s.mu.Lock()
+	s.mem[id] = b
+	s.mu.Unlock()
+	if s.dir == "" {
+		return nil
+	}
+	return fsutil.WriteFileAtomic(filepath.Join(s.dir, id+".json"), b, 0o644)
+}
+
+// Len reports how many payloads the memory tier holds.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
