@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench benchcheck gobench chaos loadtest
+.PHONY: check build vet lint test race bench benchcheck gobench chaos chaos-service loadtest
 
 # The gate CI runs: vet + determinism lint + full test suite + race +
-# the fixed-seed chaos sweep + the rmscaled load smoke.
-check: vet lint test race chaos loadtest
+# the fixed-seed chaos sweep + the service chaos harness + the
+# rmscaled load smoke.
+check: vet lint test race chaos chaos-service loadtest
 
 build:
 	$(GO) build ./...
@@ -22,9 +23,12 @@ test: build
 
 # Race-check the whole module; -short keeps the smoke-fidelity
 # experiment runs out of the race build, which would otherwise
-# dominate the wall clock.
+# dominate the wall clock. The service layer (worker shards, condition
+# variables, store GC, supervision) additionally runs its full suite
+# under the detector — it is the module's most concurrent code.
 race:
 	$(GO) test -race -short ./...
+	$(GO) test -race -count=1 ./internal/service/...
 
 # Refresh the committed benchmark baseline: run the regression harness
 # (internal/perfbench) and overwrite BENCH_sim.json with its report.
@@ -51,6 +55,14 @@ gobench:
 # replayed, shrunk to a minimal reproducer and fails the target.
 chaos: build
 	$(GO) run ./cmd/rmscale -chaos 32 -seed 1
+
+# Service chaos harness: scripted executor panics/hangs/failures,
+# client disconnects, store corruption, journal tears and flaky disk
+# writes against live rmscaled daemons; every result must come back
+# byte-identical to a fault-free reference. The report is the CI
+# artifact; any violated assertion exits non-zero.
+chaos-service: build
+	$(GO) run ./cmd/rmscaled chaos -specs 12 -clients 3 -v -report chaos_report.json
 
 # rmscaled load smoke: one scaled-down load iteration through the full
 # HTTP service (submit / stream / fetch, dedup audited, exit non-zero

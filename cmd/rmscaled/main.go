@@ -7,41 +7,61 @@
 // Usage:
 //
 //	rmscaled serve   [-addr :8080] [-dir DIR] [-shards N] [-queue N] [-quiet]
+//	                 [-attempts N] [-exec-timeout D] [-breaker-threshold N]
+//	                 [-breaker-cooldown D] [-store-max-results N]
+//	                 [-store-max-bytes N] [-store-max-age D]
 //	rmscaled submit  [-addr HOST] [-wait] -kind sim -model M [-seed N] [-horizon F]
 //	rmscaled submit  [-addr HOST] [-wait] -kind case|churn -case 1..4 -fidelity F [-seed N]
 //	rmscaled status  [-addr HOST] ID
 //	rmscaled fetch   [-addr HOST] ID
 //	rmscaled loadtest [-objects N] [-distinct N] [-clients N] [-seed N]
+//	rmscaled chaos   [-dir DIR] [-specs N] [-clients N] [-seed N] [-report FILE]
 //
 // serve runs the daemon until SIGINT/SIGTERM, then drains gracefully:
 // in-flight experiments finish, the queued backlog stays checkpointed
 // in -dir's journal, and the next serve over the same -dir resumes it.
+// The supervision flags bound execution (deadline, bounded retries)
+// and shedding (circuit breaker); the store flags bound the result
+// store with LRU eviction.
 //
 // submit posts one experiment spec and prints the daemon's status
 // response — the experiment ID is the spec's deterministic content
 // address, so resubmitting an already-known spec joins the existing
 // work instead of rerunning it. With -wait, submit streams status
 // updates until the experiment is terminal and then fetches the
-// result.
+// result; a 429 or 503 refusal (saturated queue, draining daemon,
+// open circuit breaker) is retried with capped jittered backoff
+// honoring the server's Retry-After hint.
 //
 // loadtest needs no daemon: it starts an in-process one and drives the
 // scale-qualifying load iteration from internal/service/loadgen
 // against it, printing the metrics as JSON.
+//
+// chaos runs the service chaos harness (internal/service/chaos):
+// scripted executor panics, hangs, transient failures, client
+// disconnects, store corruption, journal tears and flaky disk writes
+// against in-process daemons, verifying every result byte-identical
+// to a fault-free reference. It writes the report as JSON and exits
+// non-zero if any assertion failed.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"rmscale/internal/service"
+	"rmscale/internal/service/chaos"
 	"rmscale/internal/service/loadgen"
 )
 
@@ -63,6 +83,8 @@ func main() {
 		err = queryCmd(args, "/result")
 	case "loadtest":
 		err = loadtestCmd(args)
+	case "chaos":
+		err = chaosCmd(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -74,12 +96,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: rmscaled <serve|submit|status|fetch|loadtest> [flags]
+	fmt.Fprintln(os.Stderr, `usage: rmscaled <serve|submit|status|fetch|loadtest|chaos> [flags]
   serve     run the daemon (SIGTERM drains gracefully; -dir resumes)
   submit    submit an experiment spec to a running daemon
   status    print an experiment's status
   fetch     print an experiment's stored result
   loadtest  run the in-process load iteration and print its metrics
+  chaos     run the service chaos harness and print its report
 run 'rmscaled <command> -h' for the command's flags`)
 }
 
@@ -92,6 +115,13 @@ func serveCmd(args []string) error {
 	queue := fs.Int("queue", 256, "admission queue capacity (full = HTTP 429)")
 	workers := fs.Int("j", 1, "runner workers inside one case/churn experiment")
 	quiet := fs.Bool("quiet", false, "suppress the structured event/request log")
+	attempts := fs.Int("attempts", 1, "execution attempts per experiment before its failure is final")
+	execTimeout := fs.Duration("exec-timeout", 0, "per-sim execution deadline, case/churn get 8x (0 = none)")
+	brkThreshold := fs.Int("breaker-threshold", 0, "consecutive execution failures that open the circuit breaker (0 = disabled)")
+	brkCooldown := fs.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker sheds submissions before probing")
+	storeMaxResults := fs.Int("store-max-results", 0, "result store GC: max retained payloads, LRU-evicted beyond (0 = unbounded)")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "result store GC: max memory-tier payload bytes (0 = unbounded)")
+	storeMaxAge := fs.Duration("store-max-age", 0, "result store GC: evict payloads untouched this long (0 = unbounded)")
 	fs.Parse(args)
 
 	var logw io.Writer = os.Stderr
@@ -100,6 +130,9 @@ func serveCmd(args []string) error {
 	}
 	d, err := service.New(service.Config{
 		Dir: *dir, Shards: *shards, QueueCap: *queue, CaseWorkers: *workers, Log: logw,
+		MaxAttempts: *attempts, ExecTimeout: *execTimeout,
+		BreakerThreshold: *brkThreshold, BreakerCooldown: *brkCooldown,
+		StoreMaxResults: *storeMaxResults, StoreMaxBytes: *storeMaxBytes, StoreMaxAge: *storeMaxAge,
 	})
 	if err != nil {
 		return err
@@ -141,6 +174,7 @@ func submitCmd(args []string) error {
 	fidelity := fs.String("fidelity", "", "case/churn: smoke, quick or full")
 	wait := fs.Bool("wait", false, "stream status until terminal, then fetch the result")
 	client := fs.String("client", "rmscaled-cli", "client identity for fairness accounting")
+	retryFor := fs.Duration("retry-for", 2*time.Minute, "with -wait: how long to retry 429/503 refusals before giving up")
 	fs.Parse(args)
 
 	spec := service.ExperimentSpec{
@@ -154,21 +188,10 @@ func submitCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, strings.TrimRight(*addr, "/")+"/v1/experiments",
-		strings.NewReader(string(payload)))
+	body, err := postWithBackoff(strings.TrimRight(*addr, "/")+"/v1/experiments",
+		payload, *client, spec.String(), *wait, *retryFor)
 	if err != nil {
 		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("X-Rmscale-Client", *client)
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}
 	var st service.Status
 	if err := json.Unmarshal(body, &st); err != nil {
@@ -182,6 +205,68 @@ func submitCmd(args []string) error {
 		return err
 	}
 	return fetchTo(*addr, st.ID, os.Stdout)
+}
+
+// postWithBackoff POSTs the submission. When retry is set (-wait), a
+// 429 or 503 refusal — saturated queue, draining daemon, open circuit
+// breaker — backs off and retries until the budget runs out, honoring
+// the server's Retry-After hint capped at maxSubmitBackoff, with
+// deterministic jitter so a herd of waiting clients spreads out.
+func postWithBackoff(url string, payload []byte, client, spec string, retry bool, budget time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(budget)
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(string(payload)))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Rmscale-Client", client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusAccepted:
+			return body, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if !retry {
+				return nil, fmt.Errorf("submit: HTTP %d: %s (rerun with -wait to back off and retry)",
+					resp.StatusCode, strings.TrimSpace(string(body)))
+			}
+			d := submitBackoff(spec, attempt, resp.Header.Get("Retry-After"))
+			if time.Now().Add(d).After(deadline) {
+				return nil, fmt.Errorf("submit: still refused after %v (last: HTTP %d: %s)",
+					budget, resp.StatusCode, strings.TrimSpace(string(body)))
+			}
+			fmt.Fprintf(os.Stderr, "rmscaled: submit refused (HTTP %d), retrying in %v\n", resp.StatusCode, d.Round(time.Millisecond))
+			time.Sleep(d)
+		default:
+			return nil, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+	}
+}
+
+// maxSubmitBackoff caps one refusal backoff regardless of the
+// server's Retry-After hint.
+const maxSubmitBackoff = 5 * time.Second
+
+// submitBackoff sizes one refusal backoff: the server's Retry-After
+// when sent (else a linear ramp), capped, plus deterministic jitter
+// hashed from (spec, attempt) — no global RNG, reproducible, and
+// distinct clients de-synchronize because their specs differ.
+func submitBackoff(spec string, attempt int, retryAfter string) time.Duration {
+	d := time.Duration(attempt) * 250 * time.Millisecond
+	if sec, err := strconv.Atoi(retryAfter); err == nil && sec > 0 {
+		d = time.Duration(sec) * time.Second
+	}
+	if d > maxSubmitBackoff {
+		d = maxSubmitBackoff
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", spec, attempt)
+	return d + time.Duration(h.Sum64()%uint64(d/4+1))
 }
 
 // streamUntilDone follows the experiment's stream, echoing each status
@@ -293,5 +378,50 @@ func loadtestCmd(args []string) error {
 		return err
 	}
 	fmt.Println(string(b))
+	return nil
+}
+
+// chaosCmd runs the service chaos harness and prints (and optionally
+// writes) its report; any failed assertion exits non-zero.
+func chaosCmd(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	dir := fs.String("dir", "", "harness working directory (empty = temp dir)")
+	specs := fs.Int("specs", 12, "distinct experiment specs driven through every phase")
+	clients := fs.Int("clients", 3, "concurrent chaos clients")
+	seed := fs.Int64("seed", 1, "spec and fault-schedule seed")
+	report := fs.String("report", "", "also write the report JSON to this file")
+	verbose := fs.Bool("v", false, "print phase progress to stderr")
+	fs.Parse(args)
+
+	cdir := *dir
+	if cdir == "" {
+		tmp, err := os.MkdirTemp("", "rmscaled-chaos-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		cdir = tmp
+	}
+	opts := chaos.Options{Dir: cdir, Specs: *specs, Clients: *clients, Seed: *seed}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	rep, err := chaos.Run(opts)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	if *report != "" {
+		if err := os.WriteFile(*report, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if !rep.OK {
+		return fmt.Errorf("chaos: %d assertion(s) failed", len(rep.Failures))
+	}
 	return nil
 }

@@ -60,3 +60,27 @@ func AppendSync(f *os.File, b []byte) error {
 	}
 	return nil
 }
+
+// FS is the injectable seam over the durable-write primitives. The
+// result store and journals write through an FS value instead of
+// calling the package functions directly, so fault-injection harnesses
+// (internal/service/chaos) can script disk-full and flaky-write
+// behaviour without touching a real filesystem knob. Production code
+// passes RealFS (or nil, which callers default to RealFS).
+type FS interface {
+	// WriteFileAtomic is the atomic whole-file write.
+	WriteFileAtomic(path string, data []byte, perm os.FileMode) error
+	// AppendSync is the synced append commit point.
+	AppendSync(f *os.File, b []byte) error
+}
+
+// RealFS is the production FS: the package's own primitives.
+type RealFS struct{}
+
+// WriteFileAtomic implements FS with the package primitive.
+func (RealFS) WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return WriteFileAtomic(path, data, perm)
+}
+
+// AppendSync implements FS with the package primitive.
+func (RealFS) AppendSync(f *os.File, b []byte) error { return AppendSync(f, b) }

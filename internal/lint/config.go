@@ -58,6 +58,7 @@ var DefaultConfig = Config{
 		// admission backoff) carry //lint:allow annotations at the site.
 		"rmscale/internal/service",
 		"rmscale/internal/service/loadgen",
+		"rmscale/internal/service/chaos",
 	},
 	Kernel: []string{
 		"rmscale/internal/sim",
@@ -81,6 +82,7 @@ var DefaultConfig = Config{
 		// unreviewed.
 		"rmscale/internal/service",
 		"rmscale/internal/service/loadgen",
+		"rmscale/internal/service/chaos",
 	},
 	// Map-iteration order can leak into any rendered table, figure,
 	// JSON file or checkpoint, so the whole module is covered.

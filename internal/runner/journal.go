@@ -33,7 +33,9 @@ const journalVersion = 1
 type Journal struct {
 	mu      sync.Mutex
 	f       *os.File
+	fs      fsutil.FS
 	entries map[string]json.RawMessage
+	dropped int
 }
 
 type journalHeader struct {
@@ -53,13 +55,31 @@ type journalRecord struct {
 // and resumed reports true; a fingerprint or version mismatch is an
 // error so stale checkpoints cannot silently corrupt a run.
 func OpenJournal(dir, fingerprint string) (j *Journal, resumed bool, err error) {
+	return OpenJournalFS(dir, fingerprint, fsutil.RealFS{})
+}
+
+// OpenJournalFS is OpenJournal with an injectable durable-write seam
+// (fault-injection harnesses script append failures through it; nil
+// means the real filesystem).
+//
+// Tail recovery: a journal whose file ends in a truncated or garbled
+// line — the signature of a killed or faulty writer — is recovered to
+// its longest valid prefix. The records of that prefix load normally,
+// the file is truncated back to the prefix boundary so later appends
+// cannot concatenate onto the garbage, and Dropped reports how many
+// lines were discarded.
+func OpenJournalFS(dir, fingerprint string, fs fsutil.FS) (j *Journal, resumed bool, err error) {
+	if fs == nil {
+		fs = fsutil.RealFS{}
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, false, fmt.Errorf("runner: run dir: %w", err)
 	}
 	path := filepath.Join(dir, journalName)
 	entries := make(map[string]json.RawMessage)
+	dropped, validEnd := 0, int64(-1)
 	if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
-		hdr, recs, err := parseJournal(b)
+		hdr, recs, goodBytes, badLines, err := parseJournal(b)
 		if err != nil {
 			return nil, false, err
 		}
@@ -74,12 +94,25 @@ func OpenJournal(dir, fingerprint string) (j *Journal, resumed bool, err error) 
 		}
 		entries = recs
 		resumed = true
+		if badLines > 0 {
+			dropped = badLines
+			validEnd = int64(goodBytes)
+		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, false, fmt.Errorf("runner: journal: %w", err)
 	}
-	j = &Journal{f: f, entries: entries}
+	if validEnd >= 0 {
+		// Cut the garbage tail before the first append lands after it;
+		// otherwise the next record would concatenate onto a partial
+		// line and corrupt itself too.
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, false, fmt.Errorf("runner: journal %s: truncating corrupt tail: %w", path, err)
+		}
+	}
+	j = &Journal{f: f, fs: fs, entries: entries, dropped: dropped}
 	if !resumed {
 		var hdr journalHeader
 		hdr.Header.Version = journalVersion
@@ -92,38 +125,70 @@ func OpenJournal(dir, fingerprint string) (j *Journal, resumed bool, err error) 
 	return j, resumed, nil
 }
 
-// parseJournal splits the file into header and records, tolerating a
-// truncated final line (the signature of a killed writer).
-func parseJournal(b []byte) (journalHeader, map[string]json.RawMessage, error) {
+// parseJournal splits the file into header and records. Recovery is
+// valid-prefix semantics: parsing stops at the first malformed record
+// line (truncated tail or garbled bytes), goodBytes reports how far
+// the valid prefix extends into b, and badLines counts the discarded
+// remainder. Records past a garbled line are deliberately not trusted
+// — a writer that corrupted one line may have corrupted what follows,
+// and the caller truncates the file back to goodBytes anyway.
+func parseJournal(b []byte) (hdr journalHeader, recs map[string]json.RawMessage, goodBytes, badLines int, err error) {
 	sc := bufio.NewScanner(bytes.NewReader(b))
 	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
-	var hdr journalHeader
-	recs := make(map[string]json.RawMessage)
+	recs = make(map[string]json.RawMessage)
 	first := true
+	offset := 0
 	for sc.Scan() {
 		line := sc.Bytes()
+		lineEnd := offset + len(line)
+		if lineEnd < len(b) && b[lineEnd] == '\n' {
+			lineEnd++
+		}
 		if len(line) == 0 {
+			offset = lineEnd
 			continue
 		}
 		if first {
 			if err := json.Unmarshal(line, &hdr); err != nil || hdr.Header.Version == 0 {
-				return hdr, nil, fmt.Errorf("runner: journal has no valid header line")
+				return hdr, nil, 0, 0, fmt.Errorf("runner: journal has no valid header line")
 			}
 			first = false
+			offset = lineEnd
+			goodBytes = offset
 			continue
 		}
 		var rec journalRecord
-		if err := json.Unmarshal(line, &rec); err != nil || rec.ID == "" {
-			// A partial trailing line from an interrupted append; the
-			// record was not durably committed, so drop it.
-			continue
+		// A record whose newline never landed was not durably committed,
+		// even if its JSON happens to parse; keeping it would let the
+		// next append concatenate onto it.
+		unterminated := lineEnd == len(b) && b[len(b)-1] != '\n'
+		if err := json.Unmarshal(line, &rec); err != nil || rec.ID == "" || unterminated {
+			// Invalid record: everything from here on is the dropped
+			// tail. Count its lines and stop trusting the file.
+			badLines++
+			for sc.Scan() {
+				if len(sc.Bytes()) > 0 {
+					badLines++
+				}
+			}
+			return hdr, recs, goodBytes, badLines, nil
 		}
 		recs[rec.ID] = rec.Data
+		offset = lineEnd
+		goodBytes = offset
 	}
 	if first {
-		return hdr, nil, fmt.Errorf("runner: journal has no valid header line")
+		return hdr, nil, 0, 0, fmt.Errorf("runner: journal has no valid header line")
 	}
-	return hdr, recs, nil
+	return hdr, recs, goodBytes, badLines, nil
+}
+
+// Dropped reports how many journal lines were discarded as a corrupt
+// tail when the journal was opened (0 for a clean journal).
+func (j *Journal) Dropped() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
 }
 
 // appendLine writes one JSON line with a single write followed by an
@@ -133,7 +198,7 @@ func (j *Journal) appendLine(v any) error {
 	if err != nil {
 		return fmt.Errorf("runner: journal encode: %w", err)
 	}
-	if err := fsutil.AppendSync(j.f, append(b, '\n')); err != nil {
+	if err := j.fs.AppendSync(j.f, append(b, '\n')); err != nil {
 		return fmt.Errorf("runner: journal: %w", err)
 	}
 	return nil

@@ -189,3 +189,110 @@ func TestJournalEach(t *testing.T) {
 		t.Fatalf("Each error propagation: err=%v calls=%d", err, calls)
 	}
 }
+
+// TestJournalGarbledTailRecovery pins the valid-prefix recovery
+// contract: a journal whose tail is garbage (not merely chopped) is
+// recovered to the records before the garbage, the file is truncated
+// back to that prefix so later appends stay parseable, and Dropped
+// reports the discarded lines.
+func TestJournalGarbledTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := j.Record(pointName(i), fakePoint{K: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	path := filepath.Join(dir, journalName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the last record's line with garbage and append one more
+	// garbage line: two dropped lines, records 1-2 intact.
+	lines := strings.SplitAfter(strings.TrimRight(string(b), "\n"), "\n")
+	keep := strings.Join(lines[:len(lines)-1], "")
+	garbled := keep + "{\"id\":\"x\", CORRUPT@@@\nnot json either\n"
+	if err := os.WriteFile(path, []byte(garbled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, resumed, err := OpenJournal(dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed {
+		t.Fatal("garbled journal not resumed")
+	}
+	if j2.Len() != 2 {
+		t.Fatalf("journal holds %d records after garbled tail, want 2", j2.Len())
+	}
+	if j2.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", j2.Dropped())
+	}
+	// Appending after recovery must land on a clean boundary: record 3
+	// again, close, reopen, and everything must be there.
+	if err := j2.Record(pointName(3), fakePoint{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, _, err := OpenJournal(dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Len() != 3 || j3.Dropped() != 0 {
+		t.Fatalf("after re-append: len=%d dropped=%d, want 3 and 0", j3.Len(), j3.Dropped())
+	}
+}
+
+// TestJournalUnterminatedTail pins that a final record whose newline
+// never landed is treated as uncommitted even when its JSON parses:
+// keeping it would let the next append concatenate onto it.
+func TestJournalUnterminatedTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := j.Record(pointName(i), fakePoint{K: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	path := filepath.Join(dir, journalName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-1], 0o644); err != nil { // drop only the final '\n'
+		t.Fatal(err)
+	}
+	j2, _, err := OpenJournal(dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 1 || j2.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d, want 1 and 1 (unterminated record is uncommitted)", j2.Len(), j2.Dropped())
+	}
+	// Re-recording it must produce a journal that reopens clean.
+	if err := j2.Record(pointName(2), fakePoint{K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, _, err := OpenJournal(dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Len() != 2 || j3.Dropped() != 0 {
+		t.Fatalf("after re-append: len=%d dropped=%d, want 2 and 0", j3.Len(), j3.Dropped())
+	}
+}

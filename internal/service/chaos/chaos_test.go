@@ -1,0 +1,50 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaosRun drives the full scenario — reference, exec faults,
+// restart faults, disk faults — and requires a clean report: every
+// scripted fault absorbed, every result byte-identical to the
+// fault-free reference, the daemon alive throughout.
+func TestChaosRun(t *testing.T) {
+	rep, err := Run(Options{Dir: t.TempDir(), Specs: 10, Clients: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("chaos run failed:\n  %s", strings.Join(rep.Failures, "\n  "))
+	}
+	if rep.PanicsInjected == 0 || rep.HangsInjected == 0 || rep.ErrorsInjected == 0 {
+		t.Fatalf("fault schedule degenerate: %+v — the run proved nothing", rep)
+	}
+	if rep.Disconnects == 0 {
+		t.Fatalf("no client disconnects injected: %+v", rep)
+	}
+	if rep.Mismatched != 0 {
+		t.Fatalf("%d results differed from the reference", rep.Mismatched)
+	}
+	// Every spec verified at least twice: once under exec faults, once
+	// after the restart; the disk-fault phase adds more.
+	if rep.Verified < 2*rep.Specs {
+		t.Fatalf("verified %d results for %d specs, want >= %d", rep.Verified, rep.Specs, 2*rep.Specs)
+	}
+	if rep.JournalDropped != 1 {
+		t.Fatalf("journal_dropped = %d, want 1 (the torn record)", rep.JournalDropped)
+	}
+	if rep.CorruptResults < 1 {
+		t.Fatalf("corrupt_results = %d, want >= 1 (the damaged payload)", rep.CorruptResults)
+	}
+	if rep.WriteFaults < 1 || !rep.StoreDegraded {
+		t.Fatalf("disk-fault phase inert: faults=%d degraded=%v", rep.WriteFaults, rep.StoreDegraded)
+	}
+}
+
+// TestChaosOptionsValidate: a run without a directory is refused.
+func TestChaosOptionsValidate(t *testing.T) {
+	if _, err := Run(Options{}); err == nil {
+		t.Fatal("Run accepted empty options")
+	}
+}

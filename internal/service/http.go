@@ -49,7 +49,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		// Always 200 — a degraded daemon is alive; the body says what
+		// it is operating without (breaker shedding, memory-only store,
+		// lost journal durability).
+		writeJSON(w, http.StatusOK, s.d.Health())
 	})
 	return s.logRequests(mux)
 }
@@ -93,6 +96,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrSaturated):
 		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSec))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrShedding):
+		w.Header().Set("Retry-After", fmt.Sprint(s.d.retryAfterHint()))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSec))
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
@@ -134,7 +140,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // handleStream writes the experiment's status as a JSON line now and
 // after every state change until the state is terminal. The wait is
 // condition-variable driven — no polling interval — so transitions
-// stream with no added latency.
+// stream with no added latency; it is bounded by the request context,
+// so a client hanging up mid-stream releases the handler goroutine
+// immediately instead of parking it until the next state change.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	st, ok := s.d.Status(id)
@@ -156,9 +164,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if st.State.Terminal() {
 			return
 		}
-		next, ok := s.d.Await(id, st.State)
+		next, ok := s.d.AwaitCtx(r.Context(), id, st.State)
 		if !ok || next.State == st.State {
-			return // unknown, or daemon closed with no further transitions
+			return // cancelled, unknown, or daemon closed with no further transitions
 		}
 		st = next
 	}
@@ -201,7 +209,7 @@ func (r *statusRecorder) Flush() {
 // daemon's event log.
 func (s *Server) logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := s.d.clock()
+		start := s.d.clock.Now()
 		rec := &statusRecorder{ResponseWriter: w}
 		next.ServeHTTP(rec, r)
 		s.d.logEvent("http", map[string]any{
@@ -209,7 +217,7 @@ func (s *Server) logRequests(next http.Handler) http.Handler {
 			"path":   r.URL.Path,
 			"status": rec.code,
 			"bytes":  rec.bytes,
-			"dur_ms": float64(s.d.clock().Sub(start).Microseconds()) / 1000,
+			"dur_ms": float64(s.d.clock.Now().Sub(start).Microseconds()) / 1000,
 			"client": clientID(r),
 		})
 	})

@@ -15,6 +15,12 @@ var ErrSaturated = errors.New("service: job queue saturated")
 // begun; the HTTP layer maps it to 503 Service Unavailable.
 var ErrDraining = errors.New("service: daemon is draining")
 
+// ErrShedding is returned by Submit while the circuit breaker is open:
+// consecutive executor failures crossed the threshold and the daemon
+// sheds new work until the cooldown passes. The HTTP layer maps it to
+// 503 Service Unavailable with a Retry-After covering the cooldown.
+var ErrShedding = errors.New("service: circuit breaker open, shedding load")
+
 // fairQueue is a bounded multi-client FIFO with round-robin dispatch:
 // each client gets a private FIFO, and pop serves clients in rotation,
 // so one client flooding the queue delays its own backlog, not

@@ -35,7 +35,9 @@ import (
 	"path/filepath"
 	//lint:allow nokernelgoroutines the daemon's shard pool, state mutex and condition variable are the service layer's concurrency; simulations it runs stay single-threaded underneath
 	"sync"
+	"time"
 
+	"rmscale/internal/fsutil"
 	"rmscale/internal/runner"
 )
 
@@ -99,6 +101,23 @@ type Stats struct {
 	Running       int   `json:"running"`
 	StoreLen      int   `json:"store_len"`
 	Draining      bool  `json:"draining"`
+
+	// Supervision and integrity accounting (the self-healing surface).
+	Retries         int64  `json:"retries"`          // supervised re-attempts after a failed execution try
+	ExecPanics      int64  `json:"exec_panics"`      // executor panics converted to failures
+	ExecTimeouts    int64  `json:"exec_timeouts"`    // executions cancelled at their deadline
+	BreakerTrips    int64  `json:"breaker_trips"`    // times the circuit breaker opened
+	BreakerOpen     bool   `json:"breaker_open"`     // breaker currently shedding
+	Shed            int64  `json:"shed"`             // submissions shed by the open breaker
+	Reexecuted      int64  `json:"reexecuted"`       // done experiments re-queued after their result was lost (corrupt or evicted)
+	CorruptResults  int64  `json:"corrupt_results"`  // store entries that failed checksum verification (quarantined)
+	EvictedResults  int64  `json:"evicted_results"`  // store entries evicted by GC
+	StoreBytes      int64  `json:"store_bytes"`      // memory-tier payload bytes
+	JournalDropped  int    `json:"journal_dropped"`  // corrupt journal tail lines dropped at startup
+	JournalSkipped  int    `json:"journal_skipped"`  // malformed journal records skipped at startup
+	StoreDegraded   string `json:"store_degraded,omitempty"`   // non-empty: store fell back to memory-only (why)
+	JournalDegraded string `json:"journal_degraded,omitempty"` // non-empty: submissions no longer journaled (why)
+	Degraded        bool   `json:"degraded"`                   // any degradation condition active
 }
 
 // DedupHits is the total number of submissions that shared an existing
@@ -130,6 +149,32 @@ type Config struct {
 	// Clock overrides the time source (tests); nil uses the wall
 	// clock.
 	Clock Clock
+	// FS overrides the durable-write seam (fault injection); nil uses
+	// the real filesystem.
+	FS fsutil.FS
+
+	// MaxAttempts bounds how many times one experiment executes before
+	// its failure is final; <= 0 picks 1 (no retries). Retries back off
+	// exponentially with deterministic jitter on the Clock.
+	MaxAttempts int
+	// RetryBackoff is the first retry's backoff; <= 0 picks 100ms.
+	RetryBackoff time.Duration
+	// ExecTimeout is the execution deadline for one sim attempt
+	// (case/churn runs get 8x); <= 0 disables deadlines.
+	ExecTimeout time.Duration
+	// BreakerThreshold opens the circuit breaker after that many
+	// consecutive supervised failures; <= 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds submissions
+	// before probing half-open; <= 0 picks 30s.
+	BreakerCooldown time.Duration
+
+	// StoreMaxResults / StoreMaxBytes / StoreMaxAge bound the result
+	// store (LRU eviction; evicted IDs re-execute on resubmission).
+	// Zero values leave the store unbounded.
+	StoreMaxResults int
+	StoreMaxBytes   int64
+	StoreMaxAge     time.Duration
 }
 
 // Daemon is a running rmscaled instance.
@@ -145,6 +190,8 @@ type Daemon struct {
 	exps     map[string]*Experiment
 	queue    *fairQueue
 	stats    Stats
+	brk      breaker
+	jDegrade string // non-empty: journaling lost to an IO error (why)
 	draining bool
 	closed   bool
 	wg       sync.WaitGroup
@@ -166,7 +213,20 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 256
 	}
-	store, err := NewStore(cfg.Dir)
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 30 * time.Second
+	}
+	store, err := NewStore(StoreConfig{
+		Dir:        cfg.Dir,
+		MaxResults: cfg.StoreMaxResults,
+		MaxBytes:   cfg.StoreMaxBytes,
+		MaxAge:     cfg.StoreMaxAge,
+		Clock:      cfg.Clock,
+		FS:         cfg.FS,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -177,20 +237,22 @@ func New(cfg Config) (*Daemon, error) {
 		clock: cfg.Clock,
 		exps:  make(map[string]*Experiment),
 		queue: newFairQueue(cfg.QueueCap),
+		brk:   breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown},
 	}
 	if d.exec == nil {
 		d.exec = Executor{CaseWorkers: cfg.CaseWorkers}.Run
 	}
-	if d.clock == nil {
-		d.clock = wallClock
-	}
 	d.cond = sync.NewCond(&d.mu)
 	if cfg.Dir != "" {
-		j, _, err := runner.OpenJournal(cfg.Dir, journalFingerprint)
+		j, _, err := runner.OpenJournalFS(cfg.Dir, journalFingerprint, cfg.FS)
 		if err != nil {
 			return nil, err
 		}
 		d.journal = j
+		if dropped := j.Dropped(); dropped > 0 {
+			d.stats.JournalDropped = dropped
+			d.logEvent("journal_tail_dropped", map[string]any{"lines": dropped})
+		}
 		if err := d.resume(); err != nil {
 			j.Close()
 			return nil, err
@@ -209,25 +271,39 @@ func New(cfg Config) (*Daemon, error) {
 }
 
 // resume replays the submission journal: every accepted experiment
-// without a committed result re-enters the queue (bypassing admission
-// control — it was admitted by the daemon incarnation that journaled
-// it), and finished ones are registered as done so status and result
-// queries keep answering across restarts.
+// without a committed, checksum-valid result re-enters the queue
+// (bypassing admission control — it was admitted by the daemon
+// incarnation that journaled it), and finished ones are registered as
+// done so status and result queries keep answering across restarts.
+// Store.Has verifies disk checksums, so an experiment whose stored
+// result was corrupted re-executes instead of serving damaged bytes.
+//
+// Malformed records — valid JSON lines that are not this daemon's
+// submissions, or whose spec no longer hashes to its own ID — are
+// skipped with a log line rather than refusing to start: one damaged
+// record must not hold the rest of the backlog hostage.
 func (d *Daemon) resume() error {
+	skip := func(id string, reason string) {
+		d.stats.JournalSkipped++
+		d.logEvent("journal_skip", map[string]any{"id": id, "reason": reason})
+	}
 	return d.journal.Each(func(id string, data json.RawMessage) error {
 		if len(id) <= len(expPrefix) || id[:len(expPrefix)] != expPrefix {
-			return fmt.Errorf("service: journal holds foreign record %q", id)
+			skip(id, "foreign record")
+			return nil
 		}
 		eid := id[len(expPrefix):]
 		var rec submitRecord
 		if err := json.Unmarshal(data, &rec); err != nil {
-			return fmt.Errorf("service: journal record %s: %w", id, err)
+			skip(id, err.Error())
+			return nil
 		}
 		if specID, err := rec.Spec.ID(); err != nil {
-			return err
+			skip(id, err.Error())
+			return nil
 		} else if specID != eid {
-			return fmt.Errorf("service: journal record %s does not address its own spec %s (hashes to %s)",
-				id, rec.Spec, specID)
+			skip(id, fmt.Sprintf("record does not address its own spec %s (hashes to %s)", rec.Spec, specID))
+			return nil
 		}
 		e := &Experiment{ID: eid, Spec: rec.Spec, Client: rec.Client}
 		if d.store.Has(eid) {
@@ -286,6 +362,13 @@ func (d *Daemon) Submit(spec ExperimentSpec, client string) (Status, error) {
 	if d.draining || d.closed {
 		return Status{}, ErrDraining
 	}
+	// Circuit breaker: consecutive executor failures shed new work
+	// (dedup reads above still answer) until the cooldown passes.
+	if !d.brk.allow(d.clock.Now()) {
+		d.stats.Shed++
+		d.logEvent("shed", map[string]any{"id": id, "client": client, "consec_failures": d.brk.consec})
+		return Status{}, fmt.Errorf("%w after %d consecutive execution failures", ErrShedding, d.brk.consec)
+	}
 	// Admission control: check capacity first so a refused submission
 	// leaves no trace in the journal.
 	if d.queue.depth() >= d.queue.cap {
@@ -308,9 +391,14 @@ func (d *Daemon) Submit(spec ExperimentSpec, client string) (Status, error) {
 		d.afterEnqueueLocked(e, client, retry)
 		return d.statusLocked(e), nil
 	}
-	if d.journal != nil {
+	if d.journal != nil && d.jDegrade == "" {
 		if err := d.journal.Record(expPrefix+id, submitRecord{Spec: spec, Client: client}); err != nil {
-			return Status{}, err
+			// Journal IO failure (disk full, device gone): degrade to
+			// unjournaled operation instead of refusing work. Accepted
+			// experiments lose restart durability — surfaced through
+			// /healthz and /v1/stats — but the daemon keeps serving.
+			d.jDegrade = err.Error()
+			d.logEvent("journal_degraded", map[string]any{"error": err.Error()})
 		}
 	}
 	e := &Experiment{ID: id, Spec: spec, Client: client, State: StateQueued}
@@ -368,8 +456,33 @@ func (d *Daemon) statusLocked(e *Experiment) Status {
 }
 
 // Result returns the stored result payload for a done experiment.
+//
+// Self-healing: a done experiment whose payload is no longer servable
+// — quarantined after failing checksum verification, or evicted by
+// store GC — is re-queued for execution on the spot (bypassing
+// admission control: it was admitted once already). The caller sees a
+// miss now and the byte-identical recomputed result after the re-run,
+// because the payload is a pure function of the content address.
 func (d *Daemon) Result(id string) ([]byte, bool) {
-	return d.store.Get(id)
+	if b, ok := d.store.Get(id); ok {
+		return b, true
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.exps[id]
+	if !ok || e.State != StateDone || d.draining || d.closed {
+		return nil, false
+	}
+	e.State = StateQueued
+	e.Err = ""
+	if err := d.queue.push(e.Client, e, true); err != nil {
+		e.State = StateDone
+		return nil, false
+	}
+	d.stats.Reexecuted++
+	d.logEvent("reexec", map[string]any{"id": id, "spec": e.Spec.String()})
+	d.cond.Broadcast()
+	return nil, false
 }
 
 // Await blocks until the experiment's state differs from last, is
@@ -379,9 +492,31 @@ func (d *Daemon) Result(id string) ([]byte, bool) {
 // terminal, or unchanged from last (which means the daemon closed and
 // no further transition can come).
 func (d *Daemon) Await(id string, last State) (Status, bool) {
+	return d.AwaitCtx(context.Background(), id, last)
+}
+
+// AwaitCtx is Await bounded by a context: when ctx is cancelled — a
+// streaming client hung up — the wait unblocks and reports false
+// instead of parking a goroutine on the condition variable until the
+// next unrelated state change.
+func (d *Daemon) AwaitCtx(ctx context.Context, id string, last State) (Status, bool) {
+	if done := ctx.Done(); done != nil {
+		// Wake every cond waiter on cancellation; the mutex ensures the
+		// broadcast cannot fall between a waiter's ctx check and its
+		// cond.Wait.
+		stop := context.AfterFunc(ctx, func() {
+			d.mu.Lock()
+			d.cond.Broadcast()
+			d.mu.Unlock()
+		})
+		defer stop()
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for {
+		if ctx.Err() != nil {
+			return Status{}, false
+		}
 		e, ok := d.exps[id]
 		if !ok {
 			return Status{}, false
@@ -393,15 +528,66 @@ func (d *Daemon) Await(id string, last State) (Status, bool) {
 	}
 }
 
-// Stats snapshots the daemon-wide accounting.
+// Stats snapshots the daemon-wide accounting, folding in the store's
+// integrity counters and every active degradation condition.
 func (d *Daemon) Stats() Stats {
+	ss := d.store.Stats()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	s := d.stats
 	s.QueueDepth = d.queue.depth()
-	s.StoreLen = d.store.Len()
 	s.Draining = d.draining
+	s.StoreLen = ss.Len
+	s.StoreBytes = ss.Bytes
+	s.EvictedResults = ss.Evicted
+	s.CorruptResults = ss.Corrupt
+	s.StoreDegraded = ss.Degraded
+	s.JournalDegraded = d.jDegrade
+	s.BreakerOpen = d.brk.open && d.clock.Now().Before(d.brk.openUntil)
+	s.Degraded = s.StoreDegraded != "" || s.JournalDegraded != "" || s.BreakerOpen
 	return s
+}
+
+// Health is the /v1/healthz payload: liveness plus every degradation
+// the daemon is currently operating under. The daemon answers it even
+// while degraded — a breaker shedding load or a store fallen back to
+// memory-only is alive, just honest about it.
+type Health struct {
+	Status          string `json:"status"` // "ok" or "degraded"
+	Draining        bool   `json:"draining,omitempty"`
+	BreakerOpen     bool   `json:"breaker_open,omitempty"`
+	RetryAfterSec   int    `json:"retry_after_sec,omitempty"` // when the breaker is open: the shed hint
+	StoreDegraded   string `json:"store_degraded,omitempty"`
+	JournalDegraded string `json:"journal_degraded,omitempty"`
+}
+
+// Health snapshots the daemon's degradation surface.
+func (d *Daemon) Health() Health {
+	sd, _ := d.store.Degraded()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.clock.Now()
+	h := Health{
+		Status:          "ok",
+		Draining:        d.draining,
+		BreakerOpen:     d.brk.open && now.Before(d.brk.openUntil),
+		StoreDegraded:   sd,
+		JournalDegraded: d.jDegrade,
+	}
+	if h.BreakerOpen {
+		h.RetryAfterSec = d.brk.retryAfter(now)
+	}
+	if h.BreakerOpen || h.StoreDegraded != "" || h.JournalDegraded != "" {
+		h.Status = "degraded"
+	}
+	return h
+}
+
+// retryAfterHint is the Retry-After seconds for a shed submission.
+func (d *Daemon) retryAfterHint() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.brk.retryAfter(d.clock.Now())
 }
 
 // expDir is the experiment's private run directory (runner journal,
@@ -433,9 +619,11 @@ func (d *Daemon) nextQueued() *Experiment {
 	}
 }
 
-// shard is one worker loop: pop, execute, commit to the store, mark
-// terminal. On drain it finishes its current experiment and exits;
-// queued work stays journaled for the next incarnation.
+// shard is one worker loop: pop, execute under supervision (panic
+// isolation, deadline, bounded retries), commit to the store, mark
+// terminal, feed the breaker. On drain it finishes its current
+// experiment and exits; queued work stays journaled for the next
+// incarnation.
 func (d *Daemon) shard(i int) {
 	defer d.wg.Done()
 	for {
@@ -444,12 +632,19 @@ func (d *Daemon) shard(i int) {
 			return
 		}
 		d.logEvent("exec", map[string]any{"shard": i, "id": e.ID, "spec": e.Spec.String()})
-		b, err := d.exec(context.Background(), e.Spec, d.expDir(e.ID))
+		b, err := d.supervisedExec(i, e)
 		if err == nil {
-			err = d.store.Put(e.ID, b)
+			d.store.Put(e.ID, b)
 		}
 		d.mu.Lock()
 		d.stats.Running--
+		d.brk.record(err == nil, d.clock.Now())
+		if d.brk.open && d.brk.trips > d.stats.BreakerTrips {
+			d.stats.BreakerTrips = d.brk.trips
+			d.logEvent("breaker_open", map[string]any{
+				"consec_failures": d.brk.consec, "cooldown_sec": d.cfg.BreakerCooldown.Seconds(),
+			})
+		}
 		if err != nil {
 			e.State = StateFailed
 			e.Err = err.Error()
@@ -506,7 +701,7 @@ func (d *Daemon) logEvent(event string, fields map[string]any) {
 		return
 	}
 	line := map[string]any{
-		"ts":    d.clock().UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+		"ts":    d.clock.Now().UTC().Format("2006-01-02T15:04:05.000Z07:00"),
 		"event": event,
 	}
 	for k, v := range fields { //lint:orderindependent both maps marshal below with sorted keys

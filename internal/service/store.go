@@ -1,11 +1,16 @@
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	//lint:allow nokernelgoroutines the result store is shared by HTTP handler goroutines and daemon shards; a mutex over the memory tier is the service layer's concurrency, not the sim kernel's
 	"sync"
+	"time"
 
 	"rmscale/internal/fsutil"
 )
@@ -16,18 +21,95 @@ import (
 // a payload is immutable once written — Put never changes the bytes
 // under an existing ID — so clients may cache fetched results forever
 // and two daemons pointed at one directory serve identical bytes.
+//
+// Integrity and lifecycle, layered on since the first version:
+//
+//   - every payload carries a SHA-256 sidecar (<id>.json.sha256); disk
+//     reads verify it and a mismatch quarantines the pair under
+//     dir/results/quarantine instead of serving the bytes — the daemon
+//     re-executes the spec on demand, which is safe precisely because
+//     the payload is a pure function of the ID;
+//   - disk IO errors degrade the store to memory-only instead of
+//     failing requests: results stay servable for this incarnation,
+//     durability is surfaced as a health condition, not an outage;
+//   - optional GC (max results / max bytes / max age) evicts in
+//     least-recently-used order. Eviction is safe against in-flight
+//     fetches: a fetched slice stays valid (payloads are never
+//     mutated), and an evicted entry simply re-executes on its next
+//     submission.
 type Store struct {
 	mu  sync.Mutex
-	mem map[string][]byte
+	mem map[string]*storeEntry
 	dir string // "" = memory only
+
+	clock Clock
+	fs    fsutil.FS
+
+	maxResults int
+	maxBytes   int64
+	maxAge     time.Duration
+
+	bytes    int64 // memory-tier payload bytes
+	seq      int64 // access counter driving LRU order
+	evicted  int64
+	corrupt  int64
+	degraded string // non-empty: disk tier is offline (mem-only mode)
 }
 
-// NewStore returns a store persisting under dir/results, or a purely
-// in-memory store when dir is empty.
-func NewStore(dir string) (*Store, error) {
-	s := &Store{mem: make(map[string][]byte)}
-	if dir != "" {
-		s.dir = filepath.Join(dir, "results")
+// storeEntry is one memory-tier payload with its LRU bookkeeping.
+type storeEntry struct {
+	b       []byte
+	lastUse int64     // access sequence number
+	at      time.Time // when the payload was stored or promoted
+}
+
+// StoreConfig parameterizes a Store beyond its directory.
+type StoreConfig struct {
+	// Dir persists results under Dir/results; empty is memory-only.
+	Dir string
+	// MaxResults bounds how many payloads are retained; <= 0 is
+	// unlimited. Over the bound, least-recently-used entries are
+	// evicted (memory and disk).
+	MaxResults int
+	// MaxBytes bounds the memory-tier payload bytes; <= 0 unlimited.
+	MaxBytes int64
+	// MaxAge evicts entries not stored/promoted within the window;
+	// <= 0 unlimited.
+	MaxAge time.Duration
+	// Clock stamps entries for MaxAge; nil uses the wall clock.
+	Clock Clock
+	// FS is the durable-write seam; nil uses the real filesystem.
+	FS fsutil.FS
+}
+
+// StoreStats is the store's accounting snapshot.
+type StoreStats struct {
+	Len      int
+	Bytes    int64
+	Evicted  int64
+	Corrupt  int64
+	Degraded string
+}
+
+// NewStore returns a store persisting under cfg.Dir/results, or a
+// purely in-memory store when cfg.Dir is empty.
+func NewStore(cfg StoreConfig) (*Store, error) {
+	s := &Store{
+		mem:        make(map[string]*storeEntry),
+		clock:      cfg.Clock,
+		fs:         cfg.FS,
+		maxResults: cfg.MaxResults,
+		maxBytes:   cfg.MaxBytes,
+		maxAge:     cfg.MaxAge,
+	}
+	if s.clock == nil {
+		s.clock = realClock{}
+	}
+	if s.fs == nil {
+		s.fs = fsutil.RealFS{}
+	}
+	if cfg.Dir != "" {
+		s.dir = filepath.Join(cfg.Dir, "results")
 		if err := os.MkdirAll(s.dir, 0o755); err != nil {
 			return nil, fmt.Errorf("service: result store dir: %w", err)
 		}
@@ -35,28 +117,95 @@ func NewStore(dir string) (*Store, error) {
 	return s, nil
 }
 
-// Get returns the payload stored under id. Disk hits are promoted into
-// the memory tier.
-func (s *Store) Get(id string) ([]byte, bool) {
-	s.mu.Lock()
-	b, ok := s.mem[id]
-	s.mu.Unlock()
-	if ok {
-		return b, true
-	}
-	if s.dir != "" {
-		if b, err := os.ReadFile(filepath.Join(s.dir, id+".json")); err == nil {
-			s.mu.Lock()
-			s.mem[id] = b
-			s.mu.Unlock()
-			return b, true
-		}
-	}
-	return nil, false
+// payloadPath and sumPath locate an ID's disk pair.
+func (s *Store) payloadPath(id string) string { return filepath.Join(s.dir, id+".json") }
+func (s *Store) sumPath(id string) string     { return filepath.Join(s.dir, id+".json.sha256") }
+
+// checksum renders the payload digest the sidecar carries.
+func checksum(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
-// Has reports whether a result is stored under id without reading it
-// into memory.
+// Get returns the payload stored under id. Disk hits are verified
+// against their checksum sidecar and promoted into the memory tier; a
+// corrupt pair is quarantined and reported as a miss so the daemon
+// re-executes instead of serving damaged bytes.
+func (s *Store) Get(id string) ([]byte, bool) {
+	s.mu.Lock()
+	if e, ok := s.mem[id]; ok {
+		s.seq++
+		e.lastUse = s.seq
+		b := e.b
+		s.mu.Unlock()
+		return b, true
+	}
+	s.mu.Unlock()
+	if s.dir == "" {
+		return nil, false
+	}
+	b, ok := s.readDisk(id)
+	if !ok {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, hit := s.mem[id]; hit { // racing promotion: keep the first
+		s.seq++
+		e.lastUse = s.seq
+		return e.b, true
+	}
+	s.seq++
+	s.mem[id] = &storeEntry{b: b, lastUse: s.seq, at: s.clock.Now()}
+	s.bytes += int64(len(b))
+	s.gcLocked()
+	return b, true
+}
+
+// readDisk loads and verifies the disk pair for id; corruption
+// quarantines it. A payload without a sidecar (written by a pre-
+// checksum store generation) is accepted and its sidecar backfilled.
+func (s *Store) readDisk(id string) ([]byte, bool) {
+	b, err := os.ReadFile(s.payloadPath(id))
+	if err != nil {
+		return nil, false
+	}
+	sum, err := os.ReadFile(s.sumPath(id))
+	if err != nil {
+		// Legacy entry: adopt it and give it a sidecar.
+		_ = s.fs.WriteFileAtomic(s.sumPath(id), []byte(checksum(b)+"\n"), 0o644)
+		return b, true
+	}
+	if strings.TrimSpace(string(sum)) != checksum(b) {
+		s.quarantine(id)
+		s.mu.Lock()
+		s.corrupt++
+		s.mu.Unlock()
+		return nil, false
+	}
+	return b, true
+}
+
+// quarantine moves a corrupt disk pair aside so it cannot be served
+// again but stays available for forensics.
+func (s *Store) quarantine(id string) {
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		_ = os.Remove(s.payloadPath(id))
+		_ = os.Remove(s.sumPath(id))
+		return
+	}
+	for _, name := range []string{id + ".json", id + ".json.sha256"} {
+		if err := os.Rename(filepath.Join(s.dir, name), filepath.Join(qdir, name)); err != nil {
+			_ = os.Remove(filepath.Join(s.dir, name))
+		}
+	}
+}
+
+// Has reports whether a valid result is stored under id. Disk entries
+// are fully verified — a corrupt entry answers false (and is
+// quarantined), which is what makes restart resume re-execute damaged
+// work instead of trusting its completion marker.
 func (s *Store) Has(id string) bool {
 	s.mu.Lock()
 	_, ok := s.mem[id]
@@ -64,26 +213,110 @@ func (s *Store) Has(id string) bool {
 	if ok {
 		return true
 	}
-	if s.dir != "" {
-		if _, err := os.Stat(filepath.Join(s.dir, id+".json")); err == nil {
-			return true
-		}
+	if s.dir == "" {
+		return false
 	}
-	return false
+	_, ok = s.readDisk(id)
+	return ok
 }
 
-// Put stores the payload under id in memory and, when disk-backed,
-// atomically on disk (temp file + fsync + rename via fsutil), so a
-// crash mid-write never leaves a truncated result for another client
-// to fetch. The caller must not mutate b after the call.
-func (s *Store) Put(id string, b []byte) error {
+// Put stores the payload under id in memory and, when disk-backed and
+// not degraded, atomically on disk with its checksum sidecar. A disk
+// IO failure (disk full, permission loss, flaky device) does not fail
+// the Put: the store drops to memory-only mode, remembers why, and the
+// daemon surfaces the condition through /healthz and /v1/stats. The
+// caller must not mutate b after the call.
+func (s *Store) Put(id string, b []byte) {
 	s.mu.Lock()
-	s.mem[id] = b
-	s.mu.Unlock()
-	if s.dir == "" {
-		return nil
+	if _, ok := s.mem[id]; !ok {
+		s.seq++
+		s.mem[id] = &storeEntry{b: b, lastUse: s.seq, at: s.clock.Now()}
+		s.bytes += int64(len(b))
 	}
-	return fsutil.WriteFileAtomic(filepath.Join(s.dir, id+".json"), b, 0o644)
+	s.gcLocked()
+	disk := s.dir != "" && s.degraded == ""
+	s.mu.Unlock()
+	if !disk {
+		return
+	}
+	// Payload first, sidecar second: a crash between the two leaves a
+	// payload without sidecar, which reads as a legacy entry and gets
+	// its sidecar backfilled; the reverse order could pair a fresh
+	// sidecar with stale bytes and read as corruption.
+	err := s.fs.WriteFileAtomic(s.payloadPath(id), b, 0o644)
+	if err == nil {
+		err = s.fs.WriteFileAtomic(s.sumPath(id), []byte(checksum(b)+"\n"), 0o644)
+	}
+	if err != nil {
+		s.mu.Lock()
+		if s.degraded == "" {
+			s.degraded = err.Error()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Degraded reports whether the disk tier is offline and why.
+func (s *Store) Degraded() (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded, s.degraded != ""
+}
+
+// gcLocked evicts least-recently-used entries until the store is back
+// under its bounds. Callers hold s.mu. Eviction removes the memory
+// entry and the disk pair: an evicted ID re-executes on its next
+// submission, which content addressing makes byte-identical.
+func (s *Store) gcLocked() {
+	if s.maxResults <= 0 && s.maxBytes <= 0 && s.maxAge <= 0 {
+		return
+	}
+	type cand struct {
+		id      string
+		lastUse int64
+	}
+	var now time.Time
+	if s.maxAge > 0 {
+		now = s.clock.Now()
+		for id, e := range s.mem { //lint:orderindependent every expired entry is evicted regardless of visit order
+			if now.Sub(e.at) > s.maxAge {
+				s.evictLocked(id)
+			}
+		}
+	}
+	over := func() bool {
+		return (s.maxResults > 0 && len(s.mem) > s.maxResults) ||
+			(s.maxBytes > 0 && s.bytes > s.maxBytes)
+	}
+	if !over() {
+		return
+	}
+	cands := make([]cand, 0, len(s.mem))
+	for id, e := range s.mem { //lint:orderindependent candidates are re-sorted by LRU order below
+		cands = append(cands, cand{id, e.lastUse})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lastUse < cands[j].lastUse })
+	for _, c := range cands {
+		if !over() {
+			return
+		}
+		s.evictLocked(c.id)
+	}
+}
+
+// evictLocked drops one entry from memory and disk. Callers hold s.mu.
+func (s *Store) evictLocked(id string) {
+	e, ok := s.mem[id]
+	if !ok {
+		return
+	}
+	delete(s.mem, id)
+	s.bytes -= int64(len(e.b))
+	s.evicted++
+	if s.dir != "" {
+		_ = os.Remove(s.payloadPath(id))
+		_ = os.Remove(s.sumPath(id))
+	}
 }
 
 // Len reports how many payloads the memory tier holds.
@@ -91,4 +324,17 @@ func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.mem)
+}
+
+// Stats snapshots the store's accounting.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Len:      len(s.mem),
+		Bytes:    s.bytes,
+		Evicted:  s.evicted,
+		Corrupt:  s.corrupt,
+		Degraded: s.degraded,
+	}
 }

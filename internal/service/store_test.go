@@ -1,0 +1,191 @@
+package service
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// failFS is an fsutil.FS whose durable writes always fail — the
+// smallest disk-fault injection.
+type failFS struct{ err error }
+
+func (f failFS) WriteFileAtomic(string, []byte, os.FileMode) error { return f.err }
+func (f failFS) AppendSync(*os.File, []byte) error                 { return f.err }
+
+func mustNewStore(t *testing.T, cfg StoreConfig) *Store {
+	t.Helper()
+	s, err := NewStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStoreChecksumQuarantine pins the integrity contract: a disk
+// payload whose bytes no longer match their sidecar is quarantined and
+// reported as a miss, never served.
+func TestStoreChecksumQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustNewStore(t, StoreConfig{Dir: dir})
+	payload := []byte(`{"summary":1}` + "\n")
+	s1.Put("aaa", payload)
+
+	// Flip the on-disk bytes behind the store's back, then read through
+	// a fresh store (empty memory tier) as a restart would.
+	if err := os.WriteFile(filepath.Join(dir, "results", "aaa.json"), []byte(`{"summary":2}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustNewStore(t, StoreConfig{Dir: dir})
+	if _, ok := s2.Get("aaa"); ok {
+		t.Fatal("corrupt payload served")
+	}
+	if st := s2.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt = %d, want 1", st.Corrupt)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "results", "quarantine", "aaa.json")); err != nil {
+		t.Fatalf("corrupt payload not quarantined: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "results", "aaa.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt payload still in place")
+	}
+	// Has agrees with Get, so restart resume re-executes.
+	if s2.Has("aaa") {
+		t.Fatal("Has accepted a quarantined entry")
+	}
+}
+
+// TestStoreLegacyBackfill: a payload written before the checksum era
+// (no sidecar) is accepted and its sidecar backfilled on first read.
+func TestStoreLegacyBackfill(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "results"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"legacy":true}` + "\n")
+	if err := os.WriteFile(filepath.Join(dir, "results", "bbb.json"), payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustNewStore(t, StoreConfig{Dir: dir})
+	b, ok := s.Get("bbb")
+	if !ok || string(b) != string(payload) {
+		t.Fatalf("legacy entry not served: ok=%v b=%q", ok, b)
+	}
+	sum, err := os.ReadFile(filepath.Join(dir, "results", "bbb.json.sha256"))
+	if err != nil {
+		t.Fatalf("sidecar not backfilled: %v", err)
+	}
+	if string(sum) != checksum(payload)+"\n" {
+		t.Fatalf("backfilled sidecar %q, want %q", sum, checksum(payload))
+	}
+}
+
+// TestStoreLRUEviction pins size-bounded GC: over MaxResults, the
+// least recently used entry is evicted from memory and disk.
+func TestStoreLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustNewStore(t, StoreConfig{Dir: dir, MaxResults: 2})
+	s.Put("a", []byte("payload-a"))
+	s.Put("b", []byte("payload-b"))
+	if _, ok := s.Get("a"); !ok { // touch a: b becomes the LRU entry
+		t.Fatal("a missing before eviction")
+	}
+	s.Put("c", []byte("payload-c"))
+
+	if st := s.Stats(); st.Len != 2 || st.Evicted != 1 {
+		t.Fatalf("stats = len %d evicted %d, want 2/1", st.Len, st.Evicted)
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("LRU entry b still served")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "results", "b.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("evicted entry b still on disk")
+	}
+	for _, id := range []string{"a", "c"} {
+		if _, ok := s.Get(id); !ok {
+			t.Fatalf("survivor %s missing", id)
+		}
+	}
+}
+
+// TestStoreMaxBytes: the byte bound evicts in LRU order too, and the
+// accounting tracks the memory tier exactly.
+func TestStoreMaxBytes(t *testing.T) {
+	s := mustNewStore(t, StoreConfig{MaxBytes: 20})
+	s.Put("a", make([]byte, 10))
+	s.Put("b", make([]byte, 10))
+	if st := s.Stats(); st.Bytes != 20 || st.Len != 2 {
+		t.Fatalf("stats = bytes %d len %d, want 20/2", st.Bytes, st.Len)
+	}
+	s.Put("c", make([]byte, 10))
+	st := s.Stats()
+	if st.Bytes > 20 || st.Evicted != 1 {
+		t.Fatalf("stats = bytes %d evicted %d, want <=20 bytes after 1 eviction", st.Bytes, st.Evicted)
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("LRU entry a survived the byte bound")
+	}
+}
+
+// TestStoreMaxAge: entries older than MaxAge on the injected clock are
+// evicted at the next GC opportunity.
+func TestStoreMaxAge(t *testing.T) {
+	clk := newFakeClock()
+	s := mustNewStore(t, StoreConfig{MaxAge: time.Hour, Clock: clk})
+	s.Put("old", []byte("x"))
+	clk.advance(2 * time.Hour)
+	s.Put("new", []byte("y")) // Put runs GC
+	if _, ok := s.Get("old"); ok {
+		t.Fatal("expired entry still served")
+	}
+	if _, ok := s.Get("new"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	if st := s.Stats(); st.Evicted != 1 || st.Len != 1 {
+		t.Fatalf("stats = evicted %d len %d, want 1/1", st.Evicted, st.Len)
+	}
+}
+
+// TestStoreEvictionSafeForInflightFetches: a slice fetched before an
+// eviction stays valid and unchanged — payloads are never mutated or
+// recycled.
+func TestStoreEvictionSafeForInflightFetches(t *testing.T) {
+	s := mustNewStore(t, StoreConfig{MaxResults: 1})
+	s.Put("a", []byte("held-bytes"))
+	held, ok := s.Get("a")
+	if !ok {
+		t.Fatal("a missing")
+	}
+	s.Put("b", []byte("evicts-a"))
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("a not evicted")
+	}
+	if string(held) != "held-bytes" {
+		t.Fatalf("in-flight fetch corrupted by eviction: %q", held)
+	}
+}
+
+// TestStoreDegradedMemOnly pins graceful degradation: a failing disk
+// never fails a Put — the store keeps serving from memory and reports
+// why durability is gone.
+func TestStoreDegradedMemOnly(t *testing.T) {
+	dir := t.TempDir()
+	s := mustNewStore(t, StoreConfig{Dir: dir, FS: failFS{err: errors.New("disk full")}})
+	s.Put("a", []byte("mem-only"))
+	b, ok := s.Get("a")
+	if !ok || string(b) != "mem-only" {
+		t.Fatalf("memory tier lost the payload: ok=%v b=%q", ok, b)
+	}
+	why, degraded := s.Degraded()
+	if !degraded || why != "disk full" {
+		t.Fatalf("degraded = %v %q, want true \"disk full\"", degraded, why)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "results", "a.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("payload reached disk despite the failing FS")
+	}
+	if st := s.Stats(); st.Degraded == "" {
+		t.Fatal("stats does not surface degradation")
+	}
+}
