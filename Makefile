@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench benchcheck gobench chaos chaos-service loadtest
+.PHONY: check build vet lint depscheck test race bench benchcheck gobench chaos chaos-service loadtest
 
-# The gate CI runs: vet + determinism lint + full test suite + race +
-# the fixed-seed chaos sweep + the service chaos harness + the
-# rmscaled load smoke.
-check: vet lint test race chaos chaos-service loadtest
+# The gate CI runs: vet + stdlib-only dependency check + determinism
+# lint + full test suite + race + the fixed-seed chaos sweep + the
+# service chaos harness + the rmscaled load smoke.
+check: vet depscheck lint test race chaos chaos-service loadtest
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,21 @@ vet:
 	$(GO) vet ./...
 
 # The custom determinism/model-coverage analyzers (see DESIGN.md,
-# "Determinism invariants"). Exits non-zero on any finding.
+# "Determinism invariants"). One process runs all eight: the full-
+# source typecheck and the call graph are built once and shared, so
+# adding an analyzer costs its traversal, not another load. Exits
+# non-zero on any finding; the JSON report is the CI artifact.
 lint:
-	$(GO) run ./cmd/rmslint ./...
+	$(GO) run ./cmd/rmslint -json lint_report.json ./...
+
+# The module must keep building from the Go standard library alone (a
+# stated constraint of the reproduction — see ROADMAP.md): fail if any
+# transitive dependency resolves outside the stdlib and the module
+# itself.
+depscheck:
+	@out=$$($(GO) list -deps -f '{{if not .Standard}}{{.ImportPath}}{{end}}' ./... | grep -v '^rmscale' | grep -v '^$$' || true); \
+	if [ -n "$$out" ]; then echo "depscheck: non-stdlib dependencies:"; echo "$$out"; exit 1; fi
+	@echo "depscheck: standard library only"
 
 test: build
 	$(GO) test ./...

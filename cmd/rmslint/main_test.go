@@ -2,16 +2,23 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"rmscale/internal/lint"
 )
 
-// TestRegistersAllFiveAnalyzers pins the multichecker's roster: the
-// suite the binary runs must contain exactly the five determinism and
-// model-coverage analyzers, in their documented order.
-func TestRegistersAllFiveAnalyzers(t *testing.T) {
-	want := []string{"nowallclock", "noglobalrand", "mapiterorder", "nokernelgoroutines", "rmsexhaustive"}
+// TestRegistersAllEightAnalyzers pins the multichecker's roster: the
+// suite the binary runs must contain exactly the five local
+// determinism and model-coverage analyzers plus the three call-graph
+// analyzers, in their documented order.
+func TestRegistersAllEightAnalyzers(t *testing.T) {
+	want := []string{
+		"nowallclock", "noglobalrand", "mapiterorder", "nokernelgoroutines", "rmsexhaustive",
+		"detertaint", "hotalloc", "locksafe",
+	}
 	suite := lint.Suite(lint.DefaultConfig)
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
@@ -26,6 +33,39 @@ func TestRegistersAllFiveAnalyzers(t *testing.T) {
 		if a.Run == nil {
 			t.Errorf("analyzer %q has no Run", a.Name)
 		}
+	}
+}
+
+// TestJSONReportShape pins the -json report schema the CI artifact
+// consumers depend on: version field, findings array (never null),
+// and anchor fields only when the anchor differs from the position.
+func TestJSONReportShape(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint_report.json")
+	in := []lint.Finding{{
+		File: "a.go", Line: 3, Col: 2, Analyzer: "locksafe", Message: "held",
+		AnchorFile: "a.go", AnchorLine: 1,
+	}}
+	if err := writeReport(path, in); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r report
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if r.Version != 1 || len(r.Findings) != 1 || r.Findings[0] != in[0] {
+		t.Fatalf("report round-trip mismatch: %+v", r)
+	}
+
+	if err := writeReport(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = os.ReadFile(path)
+	if !bytes.Contains(b, []byte(`"findings": []`)) {
+		t.Fatalf("clean report must serialize findings as [], got:\n%s", b)
 	}
 }
 

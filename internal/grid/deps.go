@@ -102,6 +102,7 @@ func (e *Engine) admitJob(j *workload.Job) {
 	if e.Tracer.On() {
 		e.Tracer.Tracef("arrival", "job %d at cluster %d (%v)", j.ID, j.Cluster, j.Class)
 	}
+	//lint:allow hotalloc one envelope per job, allocated at admission and carried to termination: a per-job cost, not a per-event one
 	ctx := &JobCtx{Job: j, Origin: j.Cluster}
 	if e.fs != nil {
 		e.deliverToScheduler(s, ctx)
@@ -124,6 +125,7 @@ func (e *Engine) jobTerminated(jobID int) {
 			e.admitJob(w)
 			continue
 		}
+		//lint:allow hotalloc deferred admission of a not-yet-arrived dependent: once per held job, only in workloads with precedence constraints
 		e.K.Schedule(w.Arrival, func() { e.admitJob(w) })
 	}
 }

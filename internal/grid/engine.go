@@ -348,6 +348,7 @@ func (e *Engine) delay(from, to int, size float64) sim.Time {
 	}
 	lat, _, bw, err := e.Net.Between(from, to)
 	if err != nil {
+		//lint:allow hotalloc panic path: fires once on a wiring bug, never in a measured run
 		panic(fmt.Sprintf("grid: unrouted endpoints %d->%d: %v", from, to, err))
 	}
 	d := lat*e.Cfg.Enablers.LinkDelayScale + size/bw
@@ -359,6 +360,8 @@ func (e *Engine) delay(from, to int, size float64) sim.Time {
 
 // sendStatusUpdate routes one resource status update to its estimator
 // (when the estimator layer exists) or directly to its scheduler.
+//
+//lint:hotpath status updates dominate engine event volume; engine/*/allocs_per_event budgets this fabric at ~2 allocations
 func (e *Engine) sendStatusUpdate(r *Resource, load float64) {
 	if e.Cfg.Faults.UpdateLossProb > 0 && e.faults.Bool(e.Cfg.Faults.UpdateLossProb) {
 		e.Metrics.UpdatesLost++
@@ -372,6 +375,7 @@ func (e *Engine) sendStatusUpdate(r *Resource, load float64) {
 	if len(e.Estimators) > 0 {
 		est := e.Estimators[r.id%len(e.Estimators)]
 		if e.fs == nil || !est.down {
+			//lint:allow hotalloc the in-flight delivery closure is the update's budgeted allocation (engine allocs_per_event gate)
 			e.K.After(e.delay(r.node, est.node, e.Cfg.UpdateBytes), func() {
 				est.receive(r.id, load, at)
 			})
@@ -385,8 +389,10 @@ func (e *Engine) sendStatusUpdate(r *Resource, load float64) {
 		e.Metrics.UpdatesLost++
 		return
 	}
+	//lint:allow hotalloc the in-flight delivery closure is the update's first budgeted allocation (engine allocs_per_event gate)
 	e.K.After(e.delay(r.node, s.node, e.Cfg.UpdateBytes), func() {
 		c := e.Cfg.Costs
+		//lint:allow hotalloc the queued work item is the update's second budgeted allocation (engine allocs_per_event gate)
 		s.Exec(c.UpdateBatchBase+c.UpdatePer, func() {
 			s.mergeView(r.id, load, at)
 			// oneRid is per-scheduler scratch; Exec retires work FCFS on
@@ -403,6 +409,8 @@ func (e *Engine) sendStatusUpdate(r *Resource, load float64) {
 // entries belonging to its own cluster, then sees a policy OnStatus —
 // push models pay their trigger check per digest received, which is
 // what couples their overhead to the estimator count.
+//
+//lint:hotpath digest fan-out runs once per estimator period per scheduler; engine/*/allocs_per_event budgets it
 func (e *Engine) broadcastDigest(est *Estimator, d digest) {
 	for _, s := range e.Schedulers {
 		if e.fs != nil && s.down {
@@ -419,8 +427,10 @@ func (e *Engine) broadcastDigest(est *Estimator, d digest) {
 		// so a delivery slices its receiver's share out of the shared
 		// snapshot instead of filtering and copying the whole batch.
 		own, rids := d.cluster(s.cluster)
+		//lint:allow hotalloc one delivery closure per receiving scheduler per digest period; the digest gate budgets it
 		e.K.After(e.delay(est.node, s.node, e.Cfg.UpdateBytes*float64(d.total())), func() {
 			c := e.Cfg.Costs
+			//lint:allow hotalloc the queued batch-merge work item; the digest gate budgets it
 			s.Exec(c.UpdateBatchBase+c.UpdatePer*float64(len(own)), func() {
 				for i := range own {
 					s.mergeView(own[i].rid, own[i].load, own[i].at)
@@ -437,15 +447,21 @@ func (e *Engine) broadcastDigest(est *Estimator, d digest) {
 // armed the message rides the timeout/retry path; one that exhausts its
 // budget is simply gone — the session it belonged to stalls, exactly
 // the degradation the churn experiment measures.
+//
+//lint:hotpath every protocol message of every RMS model rides this path; engine/*/allocs_per_event budgets it
 func (e *Engine) deliverPolicy(from *Scheduler, to int, kind int, payload any) {
 	if to < 0 || to >= len(e.Schedulers) {
+		//lint:allow hotalloc panic path: fires once on a policy bug, never in a measured run
 		panic(fmt.Sprintf("grid: policy message to invalid cluster %d", to))
 	}
 	e.Metrics.PolicyMsgs++
 	dst := e.Schedulers[to]
+	//lint:allow hotalloc the Message IS the protocol message; one per send is the model's own unit of work
 	m := &Message{Kind: kind, From: from.cluster, To: to, Payload: payload}
 	net := e.delay(from.node, dst.node, e.Cfg.MsgBytes)
+	//lint:allow hotalloc the in-flight delivery closure is the message's first budgeted allocation (engine allocs_per_event gate)
 	deliver := func() {
+		//lint:allow hotalloc the queued handler work item is the message's second budgeted allocation (engine allocs_per_event gate)
 		dst.ExecMsg(func() { e.policy.OnMessage(dst, m) })
 	}
 	if e.fs != nil {
@@ -464,6 +480,8 @@ func (e *Engine) deliverPolicy(from *Scheduler, to int, kind int, payload any) {
 // transfer retries like any protocol message, and one that exhausts its
 // budget bounces back to the sender — a job envelope is never lost to
 // the network.
+//
+//lint:hotpath job transfers scale with inter-cluster traffic; engine/*/allocs_per_event budgets them
 func (e *Engine) transferJob(from *Scheduler, ctx *JobCtx, to int) {
 	if !from.disown(ctx) {
 		// A crash moved this job to another home while the sending
@@ -483,15 +501,20 @@ func (e *Engine) transferJob(from *Scheduler, ctx *JobCtx, to int) {
 	dst := e.Schedulers[to]
 	net := e.delay(from.node, dst.node, e.Cfg.JobBytes)
 	if e.fs != nil {
+		//lint:allow hotalloc the in-flight transfer closure is the envelope's budgeted allocation (engine allocs_per_event gate)
 		deliver := func() {
 			dst.own(ctx)
+			//lint:allow hotalloc the queued handler work item; the transfer gate budgets it
 			dst.ExecMsg(func() { e.policy.OnJob(dst, ctx) })
 		}
+		//lint:allow hotalloc abandon fires only after the retry budget is exhausted — fault path, not steady state
 		abandon := func() { e.deliverToScheduler(from, ctx) }
 		e.protoSend(from.node, dst, net, 0, deliver, abandon)
 		return
 	}
+	//lint:allow hotalloc the in-flight transfer closure is the envelope's budgeted allocation (engine allocs_per_event gate)
 	deliver := func() {
+		//lint:allow hotalloc the queued handler work item; the transfer gate budgets it
 		dst.ExecMsg(func() { e.policy.OnJob(dst, ctx) })
 	}
 	if e.mw != nil {
@@ -502,11 +525,14 @@ func (e *Engine) transferJob(from *Scheduler, ctx *JobCtx, to int) {
 }
 
 // sendJobToResource carries a dispatched job to its resource.
+//
+//lint:hotpath every dispatched job crosses this hop; engine/*/allocs_per_event budgets it
 func (e *Engine) sendJobToResource(s *Scheduler, ctx *JobCtx, rid int) {
 	r := e.Resources[rid]
 	if e.Tracer.On() {
 		e.Tracer.Tracef("dispatch", "job %d -> resource %d", ctx.Job.ID, rid)
 	}
+	//lint:allow hotalloc the in-flight dispatch closure is the hop's budgeted allocation (engine allocs_per_event gate)
 	e.K.After(e.delay(s.node, r.node, e.Cfg.JobBytes), func() {
 		r.enqueue(ctx)
 	})
@@ -514,6 +540,8 @@ func (e *Engine) sendJobToResource(s *Scheduler, ctx *JobCtx, rid int) {
 
 // bounce returns a job whose resource was down to its current cluster's
 // scheduler for re-decision, or drops it after too many attempts.
+//
+//lint:hotpath re-decisions run at event rate under faults; engine/*/allocs_per_event budgets them
 func (e *Engine) bounce(ctx *JobCtx) {
 	if ctx.Attempts >= maxJobAttempts {
 		e.dropJob(ctx)
@@ -529,6 +557,8 @@ func (e *Engine) bounce(ctx *JobCtx) {
 
 // dropJob gives up on a job; it counts as lost. Dependents are
 // released — a constraint on a lost job can never be satisfied.
+//
+//lint:hotpath terminal job accounting runs at event rate; engine/*/allocs_per_event budgets it
 func (e *Engine) dropJob(ctx *JobCtx) {
 	e.Metrics.JobsLost++
 	e.jobTerminated(ctx.Job.ID)
@@ -544,9 +574,12 @@ type middleware struct {
 
 // enqueue routes a message through the middleware: network delay to the
 // middleware, FIFO service, then delivery.
+//
+//lint:hotpath the S-I family funnels every message through this queue; engine/S-I/allocs_per_event budgets it
 func (mw *middleware) enqueue(netDelay sim.Time, deliver func()) {
 	k := mw.eng.K
 	arrive := k.Now() + netDelay/2
+	//lint:allow hotalloc the middleware arrival closure; the S-I family's allocs_per_event gate budgets the extra hop
 	k.Schedule(arrive, func() {
 		start := mw.busyUntil
 		if start < k.Now() {
@@ -555,6 +588,7 @@ func (mw *middleware) enqueue(netDelay sim.Time, deliver func()) {
 		finish := start + mw.eng.Cfg.Protocol.MiddlewareTime
 		mw.busyUntil = finish
 		mw.eng.Metrics.MiddlewareBusy += mw.eng.Cfg.Protocol.MiddlewareTime
+		//lint:allow hotalloc the middleware service-completion closure; the S-I family's allocs_per_event gate budgets it
 		k.Schedule(finish, func() {
 			k.After(netDelay/2, deliver)
 		})

@@ -58,6 +58,7 @@ func (e *Estimator) exec(cost float64, fn func()) {
 	finish := start + busy
 	e.busyUntil = finish
 	epoch := e.epoch
+	//lint:allow hotalloc the queued work item with its epoch guard is the estimator CPU's budgeted allocation (engine allocs_per_event gate)
 	e.eng.K.Schedule(finish, func() {
 		if e.epoch != epoch {
 			return
@@ -77,6 +78,7 @@ func (e *Estimator) QueueDelay() sim.Time {
 
 // receive ingests one resource update.
 func (e *Estimator) receive(rid int, load float64, at sim.Time) {
+	//lint:allow hotalloc the ingest work closure is the update's budgeted allocation on the estimator hop (engine allocs_per_event gate)
 	e.exec(e.eng.Cfg.Costs.EstimatorPer, func() {
 		cluster := e.eng.Map.ResourceCluster[rid]
 		e.buffer[cluster] = append(e.buffer[cluster], statusItem{rid: rid, load: load, at: at})

@@ -248,6 +248,7 @@ func (e *Engine) protoSend(fromNode int, dst *Scheduler, net sim.Time, attempt i
 		e.retryOrAbandon(fromNode, dst, net, attempt, deliver, abandon)
 		return
 	}
+	//lint:allow hotalloc the liveness-checking wrapper exists only with protocol faults armed; the churn gate budgets it
 	wrapped := func() {
 		if dst.down {
 			e.Metrics.MsgsLost++
@@ -275,6 +276,7 @@ func (e *Engine) retryOrAbandon(fromNode int, dst *Scheduler, net sim.Time, atte
 	}
 	e.Metrics.MsgRetries++
 	backoff := e.Cfg.Faults.RetryTimeout * float64(uint(1)<<uint(attempt))
+	//lint:allow hotalloc retry fires only after a lost message — fault path, not steady state
 	e.K.After(backoff, func() {
 		e.protoSend(fromNode, dst, net, attempt+1, deliver, abandon)
 	})
@@ -289,6 +291,7 @@ func (s *Scheduler) own(ctx *JobCtx) {
 		return
 	}
 	if s.owned == nil {
+		//lint:allow hotalloc lazy one-time map init, first owned job per scheduler only
 		s.owned = make(map[int]*JobCtx)
 	}
 	s.owned[ctx.Job.ID] = ctx

@@ -71,9 +71,11 @@ func (r *Resource) enqueue(ctx *JobCtx) {
 // start begins executing ctx now; service time is runtime / mu.
 func (r *Resource) start(ctx *JobCtx) {
 	now := r.eng.K.Now()
+	//lint:allow hotalloc one execution record per job start: a per-job cost the dispatch gate budgets
 	r.running = &execJob{ctx: ctx, start: now}
 	r.eng.Metrics.WaitTimes.Add(float64(now - ctx.Job.Arrival))
 	service := ctx.Job.Runtime / r.eng.Cfg.ServiceRate
+	//lint:allow hotalloc one completion closure per job execution: a per-job cost the dispatch gate budgets
 	r.eng.K.After(service, func() { r.complete(ctx) })
 }
 

@@ -214,6 +214,7 @@ func (s *Scheduler) Utilization() float64 {
 // which is what saturates a central scheduler at scale.
 func (s *Scheduler) Exec(cost float64, fn func()) {
 	if cost < 0 {
+		//lint:allow hotalloc panic path: fires once on a caller bug, never in a measured run
 		panic("grid: negative exec cost")
 	}
 	if s.down {
@@ -236,6 +237,7 @@ func (s *Scheduler) Exec(cost float64, fn func()) {
 	// Work queued before a crash dies with it: the closure only runs
 	// while the epoch it was scheduled under is still current.
 	epoch := s.epoch
+	//lint:allow hotalloc the queued work item with its epoch guard is the scheduler CPU's budgeted allocation (engine allocs_per_event gate)
 	s.eng.K.Schedule(finish, func() {
 		if s.epoch != epoch {
 			return

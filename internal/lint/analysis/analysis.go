@@ -34,6 +34,13 @@ type Pass struct {
 	Pkg   *types.Package
 	Info  *types.Info
 
+	// Shared carries run-wide state the driver computed once for the
+	// whole module — rmslint stores the call graph here so the
+	// interprocedural analyzers share one resolution pass instead of
+	// rebuilding it per (analyzer, package). Mirrors the role of
+	// upstream's ResultOf, collapsed to a single slot.
+	Shared any
+
 	diags []Diagnostic
 }
 
@@ -48,7 +55,6 @@ type Diagnostic struct {
 	Message     string
 	Analyzer    string
 }
-
 
 // Position resolves the diagnostic position against a file set.
 func (d Diagnostic) Position(fset *token.FileSet) token.Position {

@@ -1,5 +1,7 @@
 package lint
 
+import "sort"
+
 // Config is the single data-driven description of where each
 // invariant applies. Everything the suite knows about the module —
 // which packages are simulation-visible, which form the deterministic
@@ -28,6 +30,24 @@ type Config struct {
 	// Exhaustive lists the packages whose switches over the RMS-model
 	// enum must cover every model (rmsexhaustive).
 	Exhaustive []string
+
+	// HotAlloc lists the packages where //lint:hotpath allocation
+	// budgets are enforced (hotalloc). Marks can appear anywhere the
+	// list covers; packages without marks cost one map lookup.
+	HotAlloc []string
+
+	// LockSafe lists the concurrent service-layer packages held to the
+	// locking discipline (locksafe): no blocking while a mutex is
+	// held, deferred unlocks on multi-return functions, guarded-field
+	// access only under the guard or in *Locked methods.
+	LockSafe []string
+
+	// Exempt maps internal packages that deliberately sit outside
+	// every curated analyzer list to the reason why. The config
+	// meta-test fails when a module package is neither classified nor
+	// exempted, so adding a package forces a conscious decision.
+	// "m/..." entries exempt a subtree.
+	Exempt map[string]string
 
 	// EnumPkg, EnumType and EnumConstants describe the RMS-model enum:
 	// switches over EnumPkg.EnumType must either cover every constant
@@ -85,9 +105,36 @@ var DefaultConfig = Config{
 		"rmscale/internal/service/chaos",
 	},
 	// Map-iteration order can leak into any rendered table, figure,
-	// JSON file or checkpoint, so the whole module is covered.
+	// JSON file or checkpoint, so the whole module is covered — the
+	// "rmscale/..." subtree entry includes internal/service/chaos and
+	// internal/service/loadgen (verified by TestConfigMatchesModule).
 	MapOrder:   []string{"rmscale/..."},
 	Exhaustive: []string{"rmscale/..."},
+
+	// Hot-path allocation budgets can be declared anywhere; the marks
+	// currently live in internal/sim (kernel ops, Ticker), internal/grid
+	// (per-event message fabric) and internal/service (dedup fast path).
+	HotAlloc: []string{"rmscale/..."},
+
+	// The locking discipline governs the concurrent service layer; the
+	// simulation kernel below it bans sync primitives outright
+	// (nokernelgoroutines), so listing it here would be vacuous.
+	LockSafe: []string{
+		"rmscale/internal/service",
+		"rmscale/internal/service/loadgen",
+		"rmscale/internal/service/chaos",
+	},
+
+	// Packages deliberately outside the curated SimVisible/Kernel/
+	// LockSafe classification, with the reason on record. The wildcard
+	// analyzers (mapiterorder, rmsexhaustive, hotalloc) still cover
+	// them.
+	Exempt: map[string]string{
+		"rmscale/internal/runner":    "parallelizes whole single-threaded simulations; wall-clock scheduling and worker goroutines are its job, and sim-visibility stops at its API",
+		"rmscale/internal/fsutil":    "filesystem plumbing beneath the store and journal; blocking IO is its purpose and no simulation state flows through it",
+		"rmscale/internal/perfbench": "benchmark harness; reads the wall clock by design to measure it",
+		"rmscale/internal/lint/...":  "the analyzers themselves; never linked into a simulation binary",
+	},
 
 	EnumPkg:  "rmscale/internal/rms",
 	EnumType: "ID",
@@ -95,6 +142,26 @@ var DefaultConfig = Config{
 		"IDCentral", "IDLowest", "IDReserve", "IDAuction",
 		"IDSenderInit", "IDReceiverInit", "IDSymmetric",
 	},
+}
+
+// Classified reports how the config covers pkgPath: curated means a
+// SimVisible/Kernel/LockSafe entry names it (the lists that encode a
+// conscious decision per package — the wildcard-based MapOrder,
+// Exhaustive and HotAlloc lists do not count), exempt means an Exempt
+// entry opts it out. The config meta-test requires every internal
+// package to be one or the other.
+func (cfg Config) Classified(pkgPath string) (curated, exempt bool) {
+	for _, list := range [][]string{cfg.SimVisible, cfg.Kernel, cfg.LockSafe} {
+		if appliesTo(list, pkgPath) {
+			curated = true
+		}
+	}
+	ex := make([]string, 0, len(cfg.Exempt))
+	for e := range cfg.Exempt {
+		ex = append(ex, e)
+	}
+	sort.Strings(ex)
+	return curated, appliesTo(ex, pkgPath)
 }
 
 // appliesTo reports whether an entry list covers the package path.

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rmscale/internal/lint/analysis"
+	"rmscale/internal/lint/callgraph"
+)
+
+// DeterTaint is the interprocedural companion to nowallclock and
+// noglobalrand: those two flag direct wall-clock reads and global-RNG
+// draws inside simulation-visible packages, but a helper package
+// outside the SimVisible list can read time.Now and hand the result
+// back across the boundary without either noticing. DeterTaint closes
+// that hole on the call graph — a function is tainted when it calls a
+// wall-clock or global-RNG source, or (transitively) any tainted
+// module function, and every call from a simulation-visible package
+// into a tainted function is reported with the witness chain down to
+// the source.
+//
+// Suppression works at both ends of a chain:
+//
+//   - at the source: a //lint:allow on the line of the time/rand call
+//     (for detertaint, or for nowallclock/noglobalrand — an exception
+//     already justified for the direct analyzers cuts the transitive
+//     taint too, so one annotation serves all three);
+//   - at the entry point: a //lint:allow detertaint on the reported
+//     call site in the simulation-visible package.
+//
+// Soundness limits (documented in DESIGN.md): calls through function
+// values are not followed, standard-library bodies are opaque, and
+// interface dispatch covers only implementations the module declares.
+func DeterTaint() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "detertaint",
+		Doc:  "flag sim-visible calls that transitively reach wall-clock or global-RNG sources through helper packages",
+	}
+	a.Run = func(p *analysis.Pass) error {
+		g := passGraph(p)
+		t := taintOf(g)
+		for _, n := range g.Nodes() {
+			if n.Pkg.Pkg != p.Pkg {
+				continue
+			}
+			for _, call := range n.Calls {
+				for _, target := range call.Targets {
+					w, ok := t.tainted[target]
+					if !ok {
+						continue
+					}
+					p.Reportf(call.Pos,
+						"call into %s reaches %s (%s); sim-visible code must not depend on wall-clock or global-RNG state, even transitively — cut the chain at the source or annotate this entry point",
+						callgraph.FuncLabel(target.Fn), w.source(t), w.chain(t, target))
+					break // one report per call site
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// taintWitness records how a node became tainted: via is the next hop
+// toward the source (nil when the node calls the source directly).
+type taintWitness struct {
+	src string
+	via *callgraph.Node
+}
+
+func (w *taintWitness) source(t *taintState) string {
+	for w.via != nil {
+		w = t.tainted[w.via]
+	}
+	return w.src
+}
+
+// chain renders "helper.Stamp -> helper.now -> time.Now" starting at
+// the tainted node the entry point called.
+func (w *taintWitness) chain(t *taintState, start *callgraph.Node) string {
+	parts := []string{callgraph.FuncLabel(start.Fn)}
+	for w.via != nil {
+		parts = append(parts, callgraph.FuncLabel(w.via.Fn))
+		w = t.tainted[w.via]
+	}
+	parts = append(parts, w.src)
+	return strings.Join(parts, " -> ")
+}
+
+type taintState struct {
+	tainted map[*callgraph.Node]*taintWitness
+}
+
+// taintOf computes (once per graph, memoized) the set of module
+// functions from which a determinism-breaking source is reachable.
+func taintOf(g *callgraph.Graph) *taintState {
+	if t, ok := g.Memo["detertaint"].(*taintState); ok {
+		return t
+	}
+	t := &taintState{tainted: map[*callgraph.Node]*taintWitness{}}
+	g.Memo["detertaint"] = t
+
+	// Source-side suppression: an annotated time/rand call line cuts
+	// the taint before it enters the graph. Directives are parsed per
+	// package through the same machinery ApplyDirectives uses, so the
+	// multiline-span and standalone/trailing rules match exactly.
+	cutNames := []string{"detertaint", "nowallclock", "noglobalrand"}
+	known := map[string]bool{}
+	for _, name := range cutNames {
+		known[name] = true
+	}
+	sup := suppressions{}
+	seen := map[*callgraph.Package]bool{}
+	for _, n := range g.Nodes() {
+		if seen[n.Pkg] {
+			continue
+		}
+		seen[n.Pkg] = true
+		s, _ := parseDirectives(g.Fset(), n.Pkg.Files, known)
+		for k, v := range s {
+			sup[k] = v
+		}
+	}
+	cut := func(pos token.Pos) bool {
+		for _, name := range cutNames {
+			if sup.suppressed(g.Fset(), analysis.Diagnostic{Pos: pos, Analyzer: name}) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Seed: nodes that call a source directly on an unsuppressed line.
+	for _, n := range g.Nodes() {
+		for _, call := range n.Calls {
+			src, ok := taintSource(call.Callee)
+			if !ok || cut(call.Pos) {
+				continue
+			}
+			if _, done := t.tainted[n]; !done {
+				t.tainted[n] = &taintWitness{src: src}
+			}
+		}
+	}
+
+	// Propagate along reverse call edges to a fixpoint. The witness is
+	// set exactly once per node, so chains are acyclic by construction.
+	callers := map[*callgraph.Node][]*callgraph.Node{}
+	for _, n := range g.Nodes() {
+		for _, call := range n.Calls {
+			for _, target := range call.Targets {
+				callers[target] = append(callers[target], n)
+			}
+		}
+	}
+	work := make([]*callgraph.Node, 0, len(t.tainted))
+	for _, n := range g.Nodes() {
+		if _, ok := t.tainted[n]; ok {
+			work = append(work, n)
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, caller := range callers[n] {
+			if _, done := t.tainted[caller]; done {
+				continue
+			}
+			t.tainted[caller] = &taintWitness{src: t.tainted[n].src, via: n}
+			work = append(work, caller)
+		}
+	}
+	return t
+}
+
+// taintSource classifies a callee as a determinism-breaking source:
+// the wall-clock reads nowallclock bans, or any package-level
+// math/rand function (global draws and ad-hoc constructors alike —
+// methods on an already-constructed *rand.Rand are named-stream draws
+// and stay clean).
+func taintSource(fn *types.Func) (string, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockNames[fn.Name()] {
+			return "time." + fn.Name(), true
+		}
+	case "math/rand", "math/rand/v2":
+		return "rand." + fn.Name(), true
+	}
+	return "", false
+}

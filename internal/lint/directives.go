@@ -15,11 +15,16 @@ import (
 //
 //	//lint:allow <analyzer> <reason>   suppress <analyzer> here
 //	//lint:orderindependent <reason>   shorthand for allow mapiterorder
+//	//lint:hotpath <reason>            mark a function as a hot root (hotalloc)
 //
 // A directive on its own line covers the next line; a trailing
-// directive covers its own line. A directive without a reason is
-// itself a violation — an unexplained exception is exactly the kind
-// of rot the suite exists to prevent.
+// directive covers its own line. Either way, when the covered line
+// starts a simple statement that spans several lines (a wrapped call,
+// a multi-line literal), the suppression covers the whole statement
+// span — block-bearing statements (if, for, func) are deliberately
+// excluded so one directive can never blanket a body. A directive
+// without a reason is itself a violation — an unexplained exception
+// is exactly the kind of rot the suite exists to prevent.
 type directive struct {
 	analyzer string
 	reason   string
@@ -47,12 +52,10 @@ func parseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bo
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				verb, rest, ok := cutDirective(c.Text)
 				if !ok {
 					continue
 				}
-				verb, rest, _ := strings.Cut(strings.TrimSpace(text), " ")
-				rest = strings.TrimSpace(rest)
 				var d directive
 				switch verb {
 				case "allow":
@@ -60,8 +63,15 @@ func parseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bo
 					d = directive{analyzer: name, reason: strings.TrimSpace(reason), pos: c.Pos()}
 				case "orderindependent":
 					d = directive{analyzer: "mapiterorder", reason: rest, pos: c.Pos()}
+				case "hotpath":
+					// Not a suppression: hotalloc reads the mark off the doc
+					// comment. Only the mandatory reason is enforced here.
+					if rest == "" {
+						report(c.Pos(), "//lint: directive for hotpath needs a reason")
+					}
+					continue
 				default:
-					report(c.Pos(), "unknown //lint: directive "+verb+" (want allow or orderindependent)")
+					report(c.Pos(), "unknown //lint: directive "+verb+" (want allow, orderindependent or hotpath)")
 					continue
 				}
 				if !known[d.analyzer] {
@@ -74,14 +84,77 @@ func parseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bo
 				}
 				p := fset.Position(c.Pos())
 				sup[suppressionKey(d.analyzer, p.Filename, p.Line)] = &d
-				// A directive alone on its line covers the next line.
+				// A directive alone on its line covers the next line; either
+				// anchor line extends over the full span of a multi-line
+				// simple statement starting there.
+				anchor := p.Line
 				if standalone(fset, f, c) {
-					sup[suppressionKey(d.analyzer, p.Filename, p.Line+1)] = &d
+					anchor = p.Line + 1
+					sup[suppressionKey(d.analyzer, p.Filename, anchor)] = &d
+				}
+				for l := anchor + 1; l <= statementSpan(fset, f, anchor); l++ {
+					sup[suppressionKey(d.analyzer, p.Filename, l)] = &d
 				}
 			}
 		}
 	}
 	return sup, bad
+}
+
+// cutDirective splits a //lint: comment into its verb and argument
+// text; ok reports whether the comment is a lint directive at all.
+func cutDirective(text string) (verb, rest string, ok bool) {
+	t, ok := strings.CutPrefix(text, "//lint:")
+	if !ok {
+		return "", "", false
+	}
+	verb, rest, _ = strings.Cut(strings.TrimSpace(t), " ")
+	return verb, strings.TrimSpace(rest), true
+}
+
+// statementSpan returns the last line of a multi-line simple
+// statement (or spec/field) beginning on line, or line itself when
+// none does. Block-bearing nodes are excluded on purpose: a directive
+// anchored on an if/for/func line must not suppress the whole body.
+func statementSpan(fset *token.FileSet, f *ast.File, line int) int {
+	end := line
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.DeclStmt,
+			*ast.GoStmt, *ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt,
+			*ast.ValueSpec, *ast.Field:
+		default:
+			return true
+		}
+		if fset.Position(n.Pos()).Line != line {
+			return true
+		}
+		// A statement carrying a func literal (go func(){...}(), a
+		// stored closure) spans its body; extending the suppression
+		// there would blanket every line of the literal.
+		if containsFuncLit(n) {
+			return true
+		}
+		if e := fset.Position(n.End()).Line; e > end {
+			end = e
+		}
+		return true
+	})
+	return end
+}
+
+func containsFuncLit(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(nd ast.Node) bool {
+		if _, ok := nd.(*ast.FuncLit); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // standalone reports whether comment c is the only thing on its line.

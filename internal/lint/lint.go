@@ -6,6 +6,13 @@
 // goroutines can leak into the event-level grid model; before this
 // package those invariants lived in comments and were caught — after
 // the fact — by golden files. Now they fail the build.
+//
+// The suite has two tiers. Five analyzers are call-site local
+// (nowallclock, noglobalrand, mapiterorder, nokernelgoroutines,
+// rmsexhaustive): cheap, precise, package-scoped. Three are
+// interprocedural (detertaint, hotalloc, locksafe): they run over a
+// module-wide call graph (internal/lint/callgraph) the driver builds
+// once per run and shares across every (analyzer, package) pass.
 package lint
 
 import (
@@ -15,10 +22,12 @@ import (
 	"io"
 
 	"rmscale/internal/lint/analysis"
+	"rmscale/internal/lint/callgraph"
 	"rmscale/internal/lint/load"
 )
 
-// Suite returns the five analyzers in their fixed reporting order.
+// Suite returns the eight analyzers in their fixed reporting order:
+// the local fast passes first, then the call-graph tier.
 func Suite(cfg Config) []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		NoWallClock(),
@@ -30,6 +39,9 @@ func Suite(cfg Config) []*analysis.Analyzer {
 			TypeName:  cfg.EnumType,
 			Constants: cfg.EnumConstants,
 		}),
+		DeterTaint(),
+		HotAlloc(),
+		LockSafe(),
 	}
 }
 
@@ -44,6 +56,14 @@ func (cfg Config) packagesFor(name string) []string {
 		return cfg.Kernel
 	case "rmsexhaustive":
 		return cfg.Exhaustive
+	case "detertaint":
+		// The taint analyzer reports at simulation-visible entry
+		// points; the chains it follows may pass through any package.
+		return cfg.SimVisible
+	case "hotalloc":
+		return cfg.HotAlloc
+	case "locksafe":
+		return cfg.LockSafe
 	default:
 		panic("lint: unknown analyzer " + name)
 	}
@@ -58,41 +78,86 @@ func KnownAnalyzers(cfg Config) map[string]bool {
 	return known
 }
 
-// RunDir loads the packages matched by patterns in the module rooted
-// at dir, applies the suite per the config, and writes diagnostics to
-// w in go vet's file:line:col format. It returns the number of
-// diagnostics written.
-func RunDir(dir string, patterns []string, cfg Config, w io.Writer) (int, error) {
+// Finding is one diagnostic with its positions resolved — the
+// machine-readable shape behind both the vet-format text output and
+// cmd/rmslint's -json report.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+
+	// AnchorFile/AnchorLine locate the suppression anchor when it
+	// differs from the diagnostic position (the loop header, the Lock
+	// statement, the method declaration).
+	AnchorFile string `json:"anchor_file,omitempty"`
+	AnchorLine int    `json:"anchor_line,omitempty"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// Run loads the packages matched by patterns in the module rooted at
+// dir, builds the shared call graph once, applies the suite per the
+// config, and returns the surviving findings in report order.
+func Run(dir string, patterns []string, cfg Config) ([]Finding, error) {
 	fset := token.NewFileSet()
 	pkgs, err := load.Module(fset, dir, patterns...)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
+	cgPkgs := make([]*callgraph.Package, len(pkgs))
+	for i, p := range pkgs {
+		cgPkgs[i] = &callgraph.Package{Path: p.Path, Files: p.Files, Pkg: p.Pkg, Info: p.Info}
+	}
+	graph := callgraph.Build(fset, cgPkgs)
+
 	suite := Suite(cfg)
 	known := KnownAnalyzers(cfg)
-	total := 0
+	var out []Finding
 	for _, pkg := range pkgs {
 		var diags []analysis.Diagnostic
 		for _, a := range suite {
 			if !appliesTo(cfg.packagesFor(a.Name), pkg.Path) {
 				continue
 			}
-			pass := &analysis.Pass{Analyzer: a, Fset: fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
+			pass := &analysis.Pass{Analyzer: a, Fset: fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info, Shared: graph}
 			if err := a.Run(pass); err != nil {
-				return total, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+				return out, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
 			}
 			diags = append(diags, pass.Diagnostics()...)
 		}
-		if len(diags) == 0 {
-			continue
+		// ApplyDirectives also surfaces malformed //lint: markers, so it
+		// runs even when the analyzers found nothing.
+		for _, d := range ApplyDirectives(fset, pkg.Files, known, diags) {
+			out = append(out, findingOf(fset, d))
 		}
-		kept := ApplyDirectives(fset, pkg.Files, known, diags)
-		for _, line := range analysis.Format(fset, kept) {
-			fmt.Fprintln(w, line)
-		}
-		total += len(kept)
 	}
-	return total, nil
+	return out, nil
+}
+
+func findingOf(fset *token.FileSet, d analysis.Diagnostic) Finding {
+	p := fset.Position(d.Pos)
+	f := Finding{File: p.Filename, Line: p.Line, Col: p.Column, Analyzer: d.Analyzer, Message: d.Message}
+	if d.SuppressPos != token.NoPos {
+		a := fset.Position(d.SuppressPos)
+		if a.Filename != p.Filename || a.Line != p.Line {
+			f.AnchorFile, f.AnchorLine = a.Filename, a.Line
+		}
+	}
+	return f
+}
+
+// RunDir is the vet-format entry point: it runs the suite and writes
+// one line per finding to w, returning the finding count.
+func RunDir(dir string, patterns []string, cfg Config, w io.Writer) (int, error) {
+	findings, err := Run(dir, patterns, cfg)
+	for _, f := range findings {
+		fmt.Fprintln(w, f.String())
+	}
+	return len(findings), err
 }
 
 // ApplyDirectives filters diagnostics through the files' //lint:
@@ -108,4 +173,14 @@ func ApplyDirectives(fset *token.FileSet, files []*ast.File, known map[string]bo
 		}
 	}
 	return append(kept, bad...)
+}
+
+// passGraph returns the run-wide call graph the driver cached on the
+// pass, building a single-package graph as a fallback for callers
+// that drive an analyzer directly.
+func passGraph(p *analysis.Pass) *callgraph.Graph {
+	if g, ok := p.Shared.(*callgraph.Graph); ok && g != nil {
+		return g
+	}
+	return callgraph.Build(p.Fset, []*callgraph.Package{{Path: p.Pkg.Path(), Files: p.Files, Pkg: p.Pkg, Info: p.Info}})
 }

@@ -40,6 +40,23 @@ func TestRMSExhaustive(t *testing.T) {
 	linttest.Run(t, "testdata", a, "modelenum", "rmsexhaustive")
 }
 
+// TestDeterTaint checks the transitive wall-clock/global-RNG taint
+// analyzer against a two-package fixture chain.
+func TestDeterTaint(t *testing.T) {
+	linttest.Run(t, "testdata", lint.DeterTaint(), "detertaint/helper", "detertaint")
+}
+
+// TestHotAlloc checks the //lint:hotpath allocation-budget analyzer,
+// including a hot callee in a separate unmarked package.
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, "testdata", lint.HotAlloc(), "hotalloc/dep", "hotalloc")
+}
+
+// TestLockSafe checks the service locking-discipline analyzer.
+func TestLockSafe(t *testing.T) {
+	linttest.Run(t, "testdata", lint.LockSafe(), "locksafe")
+}
+
 // TestMalformedDirectives checks that broken //lint: markers are
 // themselves reported: an unexplained or mistargeted exception must
 // not silently suppress anything.
@@ -54,6 +71,9 @@ func f() {
 	//lint:frobnicate whatever
 	_ = 3
 }
+
+//lint:hotpath
+func g() {}
 `
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
@@ -62,10 +82,13 @@ func f() {
 	}
 	known := lint.KnownAnalyzers(lint.DefaultConfig)
 	out := lint.ApplyDirectives(fset, []*ast.File{f}, known, nil)
-	if len(out) != 3 {
-		t.Fatalf("got %d directive diagnostics, want 3: %+v", len(out), out)
+	if len(out) != 4 {
+		t.Fatalf("got %d directive diagnostics, want 4: %+v", len(out), out)
 	}
-	for _, want := range []string{"needs a reason", "unknown analyzer bogusanalyzer", "unknown //lint: directive frobnicate"} {
+	for _, want := range []string{
+		"needs a reason", "unknown analyzer bogusanalyzer",
+		"unknown //lint: directive frobnicate", "directive for hotpath needs a reason",
+	} {
 		found := false
 		for _, d := range out {
 			if d.Analyzer == "lintdirective" && strings.Contains(d.Message, want) {
@@ -111,6 +134,48 @@ func f(m map[string]int, out func(string)) {
 	d.SuppressPos = token.NoPos
 	if out := lint.ApplyDirectives(fset, []*ast.File{f}, known, []analysis.Diagnostic{d}); len(out) != 1 {
 		t.Fatalf("unanchored diagnostic unexpectedly suppressed")
+	}
+}
+
+// TestSuppressionStatementSpan pins the multi-line statement rule
+// directly: a directive anchored on a wrapped statement's first line
+// covers the statement's later lines, but a directive above a go/defer
+// statement does not blanket the closure body it launches.
+func TestSuppressionStatementSpan(t *testing.T) {
+	fset := token.NewFileSet()
+	const src = `package p
+
+func f(g func(int, int) int, ch chan int) {
+	//lint:allow nowallclock spans the wrapped call
+	_ = g(
+		1,
+		2,
+	)
+	//lint:allow nokernelgoroutines the launch itself is sanctioned
+	go func() {
+		ch <- 1
+	}()
+}
+`
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := lint.KnownAnalyzers(lint.DefaultConfig)
+
+	// A diagnostic on the wrapped call's third line (7) is covered by
+	// the directive anchored on the statement's first line (5).
+	span := analysis.Diagnostic{Pos: posOnLine(fset, f, 7), Message: "wall clock", Analyzer: "nowallclock"}
+	if out := lint.ApplyDirectives(fset, []*ast.File{f}, known, []analysis.Diagnostic{span}); len(out) != 0 {
+		t.Fatalf("multi-line statement span not covered: %+v", out)
+	}
+	// The go statement's directive covers its own line (10) but must
+	// not extend over the closure body (line 11).
+	launch := analysis.Diagnostic{Pos: posOnLine(fset, f, 10), Message: "goroutine", Analyzer: "nokernelgoroutines"}
+	inner := analysis.Diagnostic{Pos: posOnLine(fset, f, 11), Message: "channel send", Analyzer: "nokernelgoroutines"}
+	out := lint.ApplyDirectives(fset, []*ast.File{f}, known, []analysis.Diagnostic{launch, inner})
+	if len(out) != 1 || fset.Position(out[0].Pos).Line != 11 {
+		t.Fatalf("go-statement directive must suppress the launch only, got: %+v", out)
 	}
 }
 

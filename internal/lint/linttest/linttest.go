@@ -20,6 +20,7 @@ import (
 
 	"rmscale/internal/lint"
 	"rmscale/internal/lint/analysis"
+	"rmscale/internal/lint/callgraph"
 	"rmscale/internal/lint/load"
 )
 
@@ -82,18 +83,31 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 		t.Fatalf("loading fixture dependencies: %v", err)
 	}
 
-	known := map[string]bool{a.Name: true}
-	var diags []analysis.Diagnostic
-	var expects []*expectation
+	// Type-check every fixture first, then build the shared call graph
+	// over all of them — the same priming the production driver does —
+	// so interprocedural analyzers see cross-package fixture chains.
+	var checked []*load.Package
 	for _, p := range pkgs {
 		pkg, err := load.Check(fset, p, files[p], load.Importer(typed))
 		if err != nil {
 			t.Fatalf("type-checking fixture %s: %v", p, err)
 		}
 		typed[p] = pkg.Pkg
-		pass := &analysis.Pass{Analyzer: a, Fset: fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
+		checked = append(checked, pkg)
+	}
+	cgPkgs := make([]*callgraph.Package, len(checked))
+	for i, pkg := range checked {
+		cgPkgs[i] = &callgraph.Package{Path: pkg.Path, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
+	}
+	graph := callgraph.Build(fset, cgPkgs)
+
+	known := map[string]bool{a.Name: true}
+	var diags []analysis.Diagnostic
+	var expects []*expectation
+	for _, pkg := range checked {
+		pass := &analysis.Pass{Analyzer: a, Fset: fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info, Shared: graph}
 		if err := a.Run(pass); err != nil {
-			t.Fatalf("%s on fixture %s: %v", a.Name, p, err)
+			t.Fatalf("%s on fixture %s: %v", a.Name, pkg.Path, err)
 		}
 		diags = append(diags, lint.ApplyDirectives(fset, pkg.Files, known, pass.Diagnostics())...)
 		for _, f := range pkg.Files {

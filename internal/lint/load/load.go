@@ -128,11 +128,12 @@ func Check(fset *token.FileSet, path string, filenames []string, imp types.Impor
 		files = append(files, f)
 	}
 	info := &types.Info{
-		Types:     map[ast.Expr]types.TypeAndValue{},
-		Defs:      map[*ast.Ident]types.Object{},
-		Uses:      map[*ast.Ident]types.Object{},
-		Implicits: map[ast.Node]types.Object{},
-		Scopes:    map[ast.Node]*types.Scope{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
 	}
 	conf := types.Config{Importer: imp}
 	pkg, err := conf.Check(path, fset, files, info)

@@ -1,0 +1,699 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rmscale/internal/lint/analysis"
+	"rmscale/internal/lint/callgraph"
+)
+
+// LockSafe encodes the locking conventions internal/service
+// established by hand in PRs 6-7, so the next contributor cannot
+// silently break them:
+//
+//   - no blocking operation while a mutex is held: channel send,
+//     receive or select, time.Sleep / Clock.Sleep, calls into IO
+//     packages (os, net, ...), and calls to module functions that
+//     transitively block (Await, journal appends, store disk reads) —
+//     sync.Cond.Wait is exempt, because it releases the mutex;
+//   - no call that re-locks a mutex the caller already holds
+//     (self-deadlock through a helper);
+//   - no plain return while a lock is held without a deferred unlock
+//     (the unlock-then-return early-exit idiom stays clean);
+//   - guarded-field discipline: struct fields declared below a mutex
+//     field are guarded by it (sync-typed fields excepted — they
+//     synchronize themselves); a method that touches one must hold
+//     the mutex or carry the *Locked name suffix that marks
+//     "caller holds the lock". Guarded-field diagnostics anchor on
+//     the method declaration, so one annotation covers a
+//     deliberately lock-free method (e.g. pre-concurrency setup).
+//
+// The held region is a source-interval approximation: a lock opens at
+// its Lock call and closes at a same-block Unlock, at scope end for
+// deferred unlocks, with branch-local `Unlock(); return` exits carved
+// out as holes. Diagnostics inside a held region anchor on the Lock
+// statement, so one annotated Lock justifies the region it opens.
+func LockSafe() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "locksafe",
+		Doc:  "flag mutexes held across blocking operations, lock-leaking returns, and unguarded access to mutex-guarded fields",
+	}
+	a.Run = func(p *analysis.Pass) error {
+		g := passGraph(p)
+		sums := lockSummariesOf(g)
+		guards := guardedFieldsOf(p)
+		for _, f := range p.Files {
+			parents := buildParents(f)
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				node := funcNode(p, g, fd)
+				ctx := &lockScopeCtx{p: p, g: g, sums: sums, parents: parents, node: node}
+				ctx.guard = guards.methodGuard(p, fd)
+				ctx.analyzeScope(fd.Body)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// ---- held-interval model ----
+
+const (
+	evLock = iota
+	evUnlock
+	evDeferUnlock
+)
+
+type lockEvent struct {
+	pos  token.Pos
+	kind int
+	key  types.Object // mutex identity: field or variable object
+	str  string       // rendered receiver, for messages
+	stmt ast.Node     // the statement carrying the call
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+type lockInterval struct {
+	key      types.Object
+	str      string
+	lockPos  token.Pos // anchor: the Lock statement
+	lo, hi   token.Pos
+	deferred bool
+	holes    []posRange
+}
+
+func (iv *lockInterval) contains(pos token.Pos) bool {
+	if pos <= iv.lo || pos >= iv.hi {
+		return false
+	}
+	for _, h := range iv.holes {
+		if pos > h.lo && pos < h.hi {
+			return false
+		}
+	}
+	return true
+}
+
+// lockScopeCtx analyzes one function scope (a FuncDecl body or one
+// func literal — literals get their own scope, since they run at a
+// different time than their creator).
+type lockScopeCtx struct {
+	p       *analysis.Pass
+	g       *callgraph.Graph
+	sums    *lockSummaries
+	parents map[ast.Node]ast.Node
+	node    *callgraph.Node // enclosing declaration's graph node
+	guard   *methodGuard    // non-nil inside methods of a guarded struct
+}
+
+func (c *lockScopeCtx) analyzeScope(body *ast.BlockStmt) {
+	events, lits := c.scanScope(body)
+	ivs := buildIntervals(events, body.End(), c.parents)
+	heldAt := func(pos token.Pos) *lockInterval {
+		for _, iv := range ivs {
+			if iv.contains(pos) {
+				return iv
+			}
+		}
+		return nil
+	}
+	c.checkScope(body, heldAt)
+	for _, lit := range lits {
+		sub := *c
+		sub.analyzeScope(lit.Body)
+	}
+}
+
+// scanScope collects lock events and nested func literals, without
+// descending into the literals.
+func (c *lockScopeCtx) scanScope(body *ast.BlockStmt) ([]lockEvent, []*ast.FuncLit) {
+	var events []lockEvent
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && n != nil {
+			lits = append(lits, lit)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, _ := c.p.Info.Uses[sel.Sel].(*types.Func)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		kind := -1
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			kind = evLock
+		case "Unlock", "RUnlock":
+			kind = evUnlock
+			if _, isDefer := c.parents[call].(*ast.DeferStmt); isDefer {
+				kind = evDeferUnlock
+			}
+		}
+		if kind < 0 {
+			return true
+		}
+		key, str := c.mutexKey(sel.X)
+		events = append(events, lockEvent{pos: call.Pos(), kind: kind, key: key, str: str, stmt: enclosingStmt(c.parents, call)})
+		return true
+	})
+	return events, lits
+}
+
+// mutexKey resolves the locked expression to a stable identity: the
+// struct field or variable object when the type checker knows it.
+func (c *lockScopeCtx) mutexKey(x ast.Expr) (types.Object, string) {
+	str := exprString(x)
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return c.p.Info.Uses[x], str
+	case *ast.SelectorExpr:
+		if sel, ok := c.p.Info.Selections[x]; ok {
+			return sel.Obj(), str
+		}
+		return c.p.Info.Uses[x.Sel], str
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return c.mutexKey(x.X)
+		}
+	}
+	return nil, str
+}
+
+// buildIntervals pairs lock events into held regions. An unlock in a
+// block nested below the lock's block is a branch-local exit: it
+// opens a hole to the end of its block instead of closing the region.
+func buildIntervals(events []lockEvent, scopeEnd token.Pos, parents map[ast.Node]ast.Node) []*lockInterval {
+	var ivs []*lockInterval
+	used := map[int]bool{}
+	for i, ev := range events {
+		if ev.kind != evLock {
+			continue
+		}
+		iv := &lockInterval{key: ev.key, str: ev.str, lockPos: ev.pos, lo: ev.pos, hi: scopeEnd}
+		lockBlock := enclosingBlock(parents, ev.stmt)
+		closed := false
+		for j := i + 1; j < len(events) && !closed; j++ {
+			u := events[j]
+			if used[j] || !sameMutex(ev, u) {
+				continue
+			}
+			switch u.kind {
+			case evDeferUnlock:
+				iv.deferred = true
+				used[j] = true
+				closed = true
+			case evUnlock:
+				used[j] = true
+				if enclosingBlock(parents, u.stmt) == lockBlock {
+					iv.hi = u.pos
+					closed = true
+				} else if b := enclosingBlock(parents, u.stmt); b != nil {
+					iv.holes = append(iv.holes, posRange{lo: u.pos, hi: b.End()})
+				}
+			}
+		}
+		ivs = append(ivs, iv)
+	}
+	return ivs
+}
+
+func sameMutex(a, b lockEvent) bool {
+	if a.key != nil && b.key != nil {
+		return a.key == b.key
+	}
+	return a.str == b.str
+}
+
+func enclosingStmt(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	for ; n != nil; n = parents[n] {
+		if _, ok := n.(ast.Stmt); ok {
+			return n
+		}
+	}
+	return nil
+}
+
+func enclosingBlock(parents map[ast.Node]ast.Node, n ast.Node) *ast.BlockStmt {
+	for ; n != nil; n = parents[n] {
+		if b, ok := n.(*ast.BlockStmt); ok {
+			return b
+		}
+	}
+	return nil
+}
+
+// ---- checks inside one scope ----
+
+func (c *lockScopeCtx) checkScope(body *ast.BlockStmt, heldAt func(token.Pos) *lockInterval) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // own scope
+		case *ast.DeferStmt:
+			return false // runs at return; deferred unlocks already modeled
+		case *ast.SendStmt:
+			if iv := heldAt(n.Pos()); iv != nil && !c.inSelectComm(n) {
+				c.reportHeld(iv, n.Pos(), "channel send while %s is held", iv.str)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if iv := heldAt(n.Pos()); iv != nil && !c.inSelectComm(n) {
+					c.reportHeld(iv, n.Pos(), "channel receive while %s is held", iv.str)
+				}
+			}
+		case *ast.SelectStmt:
+			if iv := heldAt(n.Pos()); iv != nil {
+				c.reportHeld(iv, n.Pos(), "select while %s is held", iv.str)
+			}
+			return true
+		case *ast.ReturnStmt:
+			if iv := heldAt(n.Pos()); iv != nil && !iv.deferred {
+				c.reportHeld(iv, n.Pos(), "return while %s is held and no unlock is deferred; a new early return here would leak the lock", iv.str)
+			}
+		case *ast.CallExpr:
+			c.checkCallSite(n, heldAt)
+		case *ast.SelectorExpr:
+			c.checkGuardedAccess(n, heldAt)
+			return true
+		}
+		return true
+	})
+}
+
+func (c *lockScopeCtx) reportHeld(iv *lockInterval, pos token.Pos, format string, args ...any) {
+	c.p.ReportfAnchored(iv.lockPos, pos, format, args...)
+}
+
+// inSelectComm reports whether n is (part of) a select case's comm
+// statement — the select itself is already reported, so the send or
+// receive inside the case header would be a duplicate.
+func (c *lockScopeCtx) inSelectComm(n ast.Node) bool {
+	child := n
+	for cur := c.parents[child]; cur != nil; child, cur = cur, c.parents[cur] {
+		if cc, ok := cur.(*ast.CommClause); ok {
+			return cc.Comm == child
+		}
+	}
+	return false
+}
+
+// checkCallSite flags blocking and re-locking calls inside a held
+// region.
+func (c *lockScopeCtx) checkCallSite(call *ast.CallExpr, heldAt func(token.Pos) *lockInterval) {
+	iv := heldAt(call.Pos())
+	if iv == nil {
+		return
+	}
+	fn := calleeFunc(c.p, call)
+	if reason, ok := directBlockReason(c.p, call, fn); ok {
+		c.reportHeld(iv, call.Pos(), "%s while %s is held", reason, iv.str)
+		return
+	}
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+		return // lock traffic itself, and Cond.Wait (which releases the mutex) — modeled, not flagged
+	}
+	// Module callees: use the graph edge at this position for targets.
+	if c.node == nil {
+		return
+	}
+	for _, edge := range c.node.Calls {
+		if edge.Pos != call.Pos() {
+			continue
+		}
+		for _, target := range edge.Targets {
+			if why := c.sums.blocks(target); why != "" {
+				c.reportHeld(iv, call.Pos(), "call to %s blocks (%s) while %s is held",
+					callgraph.FuncLabel(target.Fn), why, iv.str)
+				return
+			}
+			if iv.key != nil && c.sums.locks(target)[iv.key] {
+				c.reportHeld(iv, call.Pos(), "call to %s locks %s again while it is already held (self-deadlock)",
+					callgraph.FuncLabel(target.Fn), iv.str)
+				return
+			}
+		}
+		return
+	}
+}
+
+// directBlockReason classifies a call as blocking by itself, without
+// looking at module bodies.
+func directBlockReason(p *analysis.Pass, call *ast.CallExpr, fn *types.Func) (string, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "sync":
+		if name == "Wait" && !condReceiver(fn) {
+			return "sync.WaitGroup.Wait blocks", true
+		}
+		return "", false
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep blocks", true
+		}
+		return "", false
+	}
+	if blockingPkgs[fn.Pkg().Path()] {
+		return callgraph.FuncLabel(fn) + " performs IO", true
+	}
+	// Interface sleeps (Clock.Sleep) block whoever implements them.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && name == "Sleep" {
+		if types.IsInterface(sig.Recv().Type()) {
+			return callgraph.FuncLabel(fn) + " blocks", true
+		}
+	}
+	return "", false
+}
+
+// blockingPkgs are the packages whose calls can park the goroutine on
+// the outside world. fmt is deliberately absent: log writes to stderr
+// are not worth an annotation per call site.
+var blockingPkgs = map[string]bool{
+	"os":       true,
+	"os/exec":  true,
+	"net":      true,
+	"net/http": true,
+	"syscall":  true,
+}
+
+func condReceiver(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Cond"
+}
+
+// calleeFunc statically resolves the callee of a call expression.
+func calleeFunc(p *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// funcNode resolves a declaration to its graph node.
+func funcNode(p *analysis.Pass, g *callgraph.Graph, fd *ast.FuncDecl) *callgraph.Node {
+	fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	return g.Node(fn)
+}
+
+// ---- transitive blocking / locking summaries ----
+
+type lockSummaries struct {
+	g         *callgraph.Graph
+	blockMemo map[*callgraph.Node]string
+	lockMemo  map[*callgraph.Node]map[types.Object]bool
+	visiting  map[*callgraph.Node]bool
+}
+
+func lockSummariesOf(g *callgraph.Graph) *lockSummaries {
+	if s, ok := g.Memo["locksafe"].(*lockSummaries); ok {
+		return s
+	}
+	s := &lockSummaries{
+		g:         g,
+		blockMemo: map[*callgraph.Node]string{},
+		lockMemo:  map[*callgraph.Node]map[types.Object]bool{},
+		visiting:  map[*callgraph.Node]bool{},
+	}
+	g.Memo["locksafe"] = s
+	return s
+}
+
+// blocks returns a human-readable reason when calling n can block,
+// or "" when it cannot (as far as the graph can see).
+func (s *lockSummaries) blocks(n *callgraph.Node) string {
+	if why, ok := s.blockMemo[n]; ok {
+		return why
+	}
+	if s.visiting[n] {
+		return "" // recursion: the cycle's entry point decides
+	}
+	s.visiting[n] = true
+	why := s.blocksUncached(n)
+	delete(s.visiting, n)
+	s.blockMemo[n] = why
+	return why
+}
+
+func (s *lockSummaries) blocksUncached(n *callgraph.Node) string {
+	info := n.Pkg.Info
+	why := ""
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch nd := nd.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			why = "channel operation"
+		case *ast.UnaryExpr:
+			if nd.Op == token.ARROW {
+				why = "channel receive"
+			}
+		case *ast.CallExpr:
+			if sel, ok := nd.Fun.(*ast.SelectorExpr); ok {
+				if fn, _ := info.Uses[sel.Sel].(*types.Func); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+					if fn.Name() == "Wait" {
+						// Inside the body cond.Wait is sanctioned, but for a
+						// caller holding another lock this function blocks.
+						why = "waits on " + exprString(sel.X)
+					}
+					return true
+				}
+			}
+			// p is only used for Info lookups in directBlockReason, so a
+			// shim pass over this node's package is enough.
+			shim := &analysis.Pass{Fset: s.g.Fset(), Info: info, Pkg: n.Pkg.Pkg}
+			if r, ok := directBlockReason(shim, nd, calleeFunc(shim, nd)); ok {
+				why = r
+			}
+		}
+		return why == ""
+	})
+	if why != "" {
+		return why
+	}
+	for _, call := range n.Calls {
+		for _, target := range call.Targets {
+			if sub := s.blocks(target); sub != "" {
+				return "via " + callgraph.FuncLabel(target.Fn) + ": " + strings.TrimPrefix(sub, "via ")
+			}
+		}
+	}
+	return ""
+}
+
+// locks returns the set of mutex objects n (transitively) locks.
+func (s *lockSummaries) locks(n *callgraph.Node) map[types.Object]bool {
+	if m, ok := s.lockMemo[n]; ok {
+		return m
+	}
+	if s.visiting[n] {
+		return nil
+	}
+	s.visiting[n] = true
+	m := map[types.Object]bool{}
+	s.lockMemo[n] = m
+	info := n.Pkg.Info
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, _ := info.Uses[sel.Sel].(*types.Func)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+			ctx := &lockScopeCtx{p: &analysis.Pass{Fset: s.g.Fset(), Info: info, Pkg: n.Pkg.Pkg}}
+			if key, _ := ctx.mutexKey(sel.X); key != nil {
+				m[key] = true
+			}
+		}
+		return true
+	})
+	for _, call := range n.Calls {
+		for _, target := range call.Targets {
+			for k := range s.locks(target) {
+				m[k] = true
+			}
+		}
+	}
+	delete(s.visiting, n)
+	return m
+}
+
+// ---- guarded-field discipline ----
+
+// guardedStructs maps a struct's mutex field object to the set of
+// fields it guards.
+type guardedStructs struct {
+	// byType maps the struct's *types.Named to its guard description.
+	byType map[*types.TypeName]*structGuard
+}
+
+type structGuard struct {
+	mutex   types.Object          // the mutex field
+	guarded map[types.Object]bool // fields declared below it
+}
+
+type methodGuard struct {
+	sg      *structGuard
+	recv    types.Object // the receiver variable
+	declPos token.Pos    // anchor for diagnostics
+	name    string
+}
+
+// guardedFieldsOf finds the package's structs that embed a mutex
+// field and records which fields sit below it (sync-typed fields are
+// self-synchronizing and stay unguarded).
+func guardedFieldsOf(p *analysis.Pass) *guardedStructs {
+	gs := &guardedStructs{byType: map[*types.TypeName]*structGuard{}}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, _ := p.Info.Defs[ts.Name].(*types.TypeName)
+			if tn == nil {
+				return true
+			}
+			var sg *structGuard
+			for _, field := range st.Fields.List {
+				ft := p.TypeOf(field.Type)
+				if sg == nil {
+					if isMutexType(ft) && len(field.Names) == 1 {
+						sg = &structGuard{mutex: p.Info.Defs[field.Names[0]], guarded: map[types.Object]bool{}}
+					}
+					continue
+				}
+				if syncType(ft) {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := p.Info.Defs[name]; obj != nil {
+						sg.guarded[obj] = true
+					}
+				}
+			}
+			if sg != nil && len(sg.guarded) > 0 {
+				gs.byType[tn] = sg
+			}
+			return true
+		})
+	}
+	return gs
+}
+
+// methodGuard returns the guard context when fd is a method (without
+// the *Locked suffix) on a guarded struct.
+func (gs *guardedStructs) methodGuard(p *analysis.Pass, fd *ast.FuncDecl) *methodGuard {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return nil
+	}
+	rt := p.TypeOf(fd.Recv.List[0].Type)
+	if pt, ok := rt.(*types.Pointer); ok {
+		rt = pt.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return nil
+	}
+	sg, ok := gs.byType[named.Obj()]
+	if !ok {
+		return nil
+	}
+	recv := p.Info.Defs[fd.Recv.List[0].Names[0]]
+	if recv == nil {
+		return nil
+	}
+	return &methodGuard{sg: sg, recv: recv, declPos: fd.Pos(), name: fd.Name.Name}
+}
+
+// checkGuardedAccess flags recv.field accesses to guarded fields made
+// without holding the guard.
+func (c *lockScopeCtx) checkGuardedAccess(sel *ast.SelectorExpr, heldAt func(token.Pos) *lockInterval) {
+	mg := c.guard
+	if mg == nil {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || c.p.Info.Uses[id] != mg.recv {
+		return
+	}
+	selection, ok := c.p.Info.Selections[sel]
+	if !ok || !mg.sg.guarded[selection.Obj()] {
+		return
+	}
+	if iv := heldAt(sel.Pos()); iv != nil && (iv.key == nil || iv.key == mg.sg.mutex) {
+		return
+	}
+	c.p.ReportfAnchored(mg.declPos, sel.Pos(),
+		"%s is guarded by %s (declared below it) but %s accesses it without holding the lock; lock, rename the method *Locked, or annotate the declaration",
+		exprString(sel), mg.sg.mutex.Name(), mg.name)
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+// syncType reports types from package sync (or pointers to them):
+// WaitGroup, Cond, Once and friends synchronize themselves.
+func syncType(t types.Type) bool {
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync"
+}

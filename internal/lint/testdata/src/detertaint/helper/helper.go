@@ -1,0 +1,24 @@
+// Package helper plays the laundering utility package: it is outside
+// the SimVisible list, so the direct nowallclock/noglobalrand
+// analyzers never see it, and only the transitive taint analyzer can
+// follow a wall-clock read back out of it. Never built by the module.
+package helper
+
+import "time"
+
+// now is the raw source two hops below the boundary.
+func now() int64 { return time.Now().UnixNano() }
+
+// Stamp launders the wall clock through one local hop; its own call
+// is already reported here, inside the helper package.
+func Stamp() int64 {
+	return now() // want "reaches time\\.Now"
+}
+
+// Sanctioned cuts the chain at the source: one annotation on the
+// time.Now line serves nowallclock, noglobalrand and detertaint
+// alike, so callers of Sanctioned stay clean.
+func Sanctioned() int64 {
+	//lint:allow detertaint fixture: sanctioned wall-clock read for a report timestamp
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,12 @@
+// Package dep holds a callee of a hot root in another package:
+// hotness crosses package boundaries through the call graph, so the
+// boxing here is charged to the hot path even though this package
+// carries no marks of its own. Never built by the module.
+package dep
+
+// Box is reachable from hotalloc.Hot through a concrete call.
+func Box(v int) any {
+	return eat(v) // want "argument boxes v into interface any on the hot path"
+}
+
+func eat(x any) any { return x }

@@ -1,0 +1,146 @@
+// Package locksafe seeds every violation of the service-layer
+// locking discipline next to the sanctioned idioms it must keep
+// clean. Never built by the module.
+package locksafe
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// clock mirrors the service Clock seam: Sleep and After block whoever
+// implements them.
+type clock interface {
+	After(d time.Duration) <-chan time.Time
+	Sleep(d time.Duration)
+}
+
+// box declares cnt above the mutex (unguarded) and state below it
+// (guarded); the sync-typed wg field synchronizes itself.
+type box struct {
+	cnt   int
+	mu    sync.Mutex
+	c     clock
+	ch    chan int
+	state int
+	wg    sync.WaitGroup
+}
+
+func (b *box) recvHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	<-b.c.After(time.Second) // want "channel receive while b\\.mu is held"
+}
+
+func (b *box) sendHeld() {
+	b.mu.Lock()
+	b.ch <- 1 // want "channel send while b\\.mu is held"
+	b.mu.Unlock()
+}
+
+func (b *box) selectHeld(done chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want "select while b\\.mu is held"
+	case <-b.c.After(time.Second):
+	case <-done:
+	}
+}
+
+func (b *box) sleepHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.c.Sleep(time.Second) // want "locksafe\\.clock\\.Sleep blocks while b\\.mu is held"
+}
+
+func (b *box) ioHeld() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, err := os.ReadFile("x") // want "os\\.ReadFile performs IO while b\\.mu is held"
+	return err
+}
+
+func (b *box) indirectHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	touch() // want "call to locksafe\\.touch blocks \\(os\\.ReadFile performs IO\\) while b\\.mu is held"
+}
+
+func touch() {
+	_, _ = os.ReadFile("y")
+}
+
+func (b *box) waitHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.wg.Wait() // want "sync\\.WaitGroup\\.Wait blocks while b\\.mu is held"
+}
+
+func (b *box) relockHeld() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.depth() // want "call to locksafe\\.box\\.depth locks b\\.mu again while it is already held \\(self-deadlock\\)"
+}
+
+func (b *box) depth() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// leakReturn returns with the lock held on one path and has no
+// deferred unlock to catch it.
+func (b *box) leakReturn(x int) int {
+	b.mu.Lock()
+	if x > 0 {
+		return x // want "return while b\\.mu is held and no unlock is deferred"
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+// earlyUnlock is the sanctioned unlock-then-return early-exit idiom:
+// the branch-local unlock opens a hole, so nothing is flagged.
+func (b *box) earlyUnlock(x int) int {
+	b.mu.Lock()
+	if x > 0 {
+		b.mu.Unlock()
+		return x
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+// condWait is the sanctioned condition-variable pattern: Cond.Wait
+// releases the mutex while parked, so it is never a blocking call.
+func (b *box) condWait(c *sync.Cond) {
+	c.L.Lock()
+	for b.cnt == 0 {
+		c.Wait()
+	}
+	c.L.Unlock()
+}
+
+func (b *box) unguarded() int {
+	return b.state // want "b\\.state is guarded by mu \\(declared below it\\) but unguarded accesses it without holding the lock"
+}
+
+func (b *box) guardedOK() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// peekLocked relies on the caller's lock, per the *Locked convention.
+func (b *box) peekLocked() int { return b.state }
+
+// setup runs before any goroutine can see b; the annotation sits on
+// the declaration — the anchor for guarded-field diagnostics — so one
+// line covers every access in the body.
+//
+//lint:allow locksafe fixture: construction happens before concurrency
+func (b *box) setup() {
+	b.state = 1
+	b.ch = make(chan int, 1)
+}

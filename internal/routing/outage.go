@@ -79,6 +79,7 @@ func (o *Outages) Severed(node int, t float64) bool {
 	}
 	ws := o.windows[node]
 	// Binary search for the first window ending after t.
+	//lint:allow hotalloc the Search predicate closes over a local slice and t only; sort.Search does not retain it, so it stays off the heap
 	i := sort.Search(len(ws), func(i int) bool { return ws[i].end > t })
 	return i < len(ws) && ws[i].start <= t
 }

@@ -71,7 +71,7 @@ type Reporter struct {
 // non-empty) and human progress lines to log (when non-nil).
 func NewReporter(cache *Cache, dir string, log io.Writer) *Reporter {
 	return &Reporter{
-		started: time.Now(),
+		started: time.Now(), //lint:allow detertaint progress-report start time; feeds ETA lines and runstate.json, never simulation results
 		active:  make(map[int]time.Time),
 		jobs:    make(map[int]string),
 		cache:   cache,
@@ -106,7 +106,7 @@ func (r *Reporter) PointDone() {
 // TaskStart implements PoolObserver.
 func (r *Reporter) TaskStart(worker int, id string) {
 	r.mu.Lock()
-	r.active[worker] = time.Now()
+	r.active[worker] = time.Now() //lint:allow detertaint per-task wall time for progress display only
 	r.jobs[worker] = id
 	r.mu.Unlock()
 	r.flush(false)
@@ -137,7 +137,7 @@ func (r *Reporter) Snapshot() Snapshot {
 func (r *Reporter) snapshot(done bool) Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	now := time.Now()
+	now := time.Now() //lint:allow detertaint elapsed/ETA fields of the progress snapshot; results carry no wall time
 	s := Snapshot{
 		JobsTotal:   r.total,
 		JobsDone:    r.done,

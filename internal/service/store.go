@@ -38,17 +38,18 @@ import (
 //     mutated), and an evicted entry simply re-executes on its next
 //     submission.
 type Store struct {
-	mu  sync.Mutex
-	mem map[string]*storeEntry
-	dir string // "" = memory only
-
-	clock Clock
-	fs    fsutil.FS
-
+	// Configuration, immutable after NewStore: declared above the
+	// mutex so the guarded-field discipline (locksafe) does not bind
+	// lock-free readers like payloadPath and readDisk to it.
+	dir        string // "" = memory only
+	clock      Clock
+	fs         fsutil.FS
 	maxResults int
 	maxBytes   int64
 	maxAge     time.Duration
 
+	mu       sync.Mutex
+	mem      map[string]*storeEntry
 	bytes    int64 // memory-tier payload bytes
 	seq      int64 // access counter driving LRU order
 	evicted  int64
@@ -148,6 +149,7 @@ func (s *Store) Get(id string) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
+	//lint:allow locksafe promotion GC unlinks at most a few evicted files; it must stay atomic with the LRU accounting it rewrites
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, hit := s.mem[id]; hit { // racing promotion: keep the first
@@ -227,6 +229,7 @@ func (s *Store) Has(id string) bool {
 // daemon surfaces the condition through /healthz and /v1/stats. The
 // caller must not mutate b after the call.
 func (s *Store) Put(id string, b []byte) {
+	//lint:allow locksafe insertion GC unlinks at most a few evicted files; it must stay atomic with the LRU accounting it rewrites
 	s.mu.Lock()
 	if _, ok := s.mem[id]; !ok {
 		s.seq++

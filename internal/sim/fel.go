@@ -158,6 +158,7 @@ func (k *Kernel) newEvent(at Time, fn func()) *Event {
 		e.fn = fn
 		e.canceled = false
 	} else {
+		//lint:allow hotalloc free-list cold start: each Event struct is allocated once here and recycled forever after
 		e = &Event{at: at, seq: k.seq, fn: fn}
 	}
 	k.seq++

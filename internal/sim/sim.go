@@ -98,11 +98,15 @@ func (k *Kernel) Pending() int { return k.fel.live() }
 
 // Schedule arranges for fn to run at absolute simulated time at.
 // Scheduling in the past panics: it is always a model bug.
+//
+//lint:hotpath kernel/steady gates Schedule at zero allocations per event in steady state
 func (k *Kernel) Schedule(at Time, fn func()) *Event {
 	if at < k.now {
+		//lint:allow hotalloc panic path: fires once on a model bug, never in a measured run
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
 	}
 	if fn == nil {
+		//lint:allow hotalloc panic path: fires once on a model bug, never in a measured run
 		panic("sim: schedule nil func")
 	}
 	e := k.newEvent(at, fn)
@@ -112,8 +116,11 @@ func (k *Kernel) Schedule(at Time, fn func()) *Event {
 
 // After arranges for fn to run d time units from now. Negative delays
 // panic.
+//
+//lint:hotpath every periodic process reschedules through After; kernel/steady gates it at zero allocations
 func (k *Kernel) After(d Time, fn func()) *Event {
 	if d < 0 {
+		//lint:allow hotalloc panic path: fires once on a model bug, never in a measured run
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return k.Schedule(k.now+d, fn)
@@ -124,6 +131,8 @@ func (k *Kernel) After(d Time, fn func()) *Event {
 // lifetime note on Event). The event stays in the future event list
 // until it surfaces or a compaction sweep collects it; either way its
 // struct returns to the free list.
+//
+//lint:hotpath kernel/cancel gates the cancel-heavy regime at zero allocations per event
 func (k *Kernel) Cancel(e *Event) {
 	if e == nil || e.canceled {
 		return
@@ -141,6 +150,8 @@ func (k *Kernel) Stop() { k.stopped = true }
 
 // Step executes the earliest pending event. It returns false when the
 // future event list is empty.
+//
+//lint:hotpath the dispatch loop body; every simulated event passes through it
 func (k *Kernel) Step() bool {
 	for len(k.fel.ev) > 0 {
 		e := k.fel.pop()
@@ -182,6 +193,8 @@ func (k *Kernel) noteProgress(at Time) {
 // empty, until the next event would fire strictly after the until time,
 // until Stop is called, or until MaxEvents is exceeded. It returns the
 // number of events executed during this call.
+//
+//lint:hotpath the bounded dispatch loop; kernel/steady and every engine bench run inside it
 func (k *Kernel) Run(until Time) uint64 {
 	k.stopped = false
 	var n uint64
