@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet lint depscheck test race bench benchcheck gobench chaos chaos-service loadtest
+.PHONY: check build vet lint depscheck test race bench benchcheck gobench chaos chaos-service crashtest loadtest
 
 # The gate CI runs: vet + stdlib-only dependency check + determinism
 # lint + full test suite + race + the fixed-seed chaos sweep + the
-# service chaos harness + the rmscaled load smoke.
-check: vet depscheck lint test race chaos chaos-service loadtest
+# service chaos harness + the crash-consistency enumeration + the
+# rmscaled load smoke.
+check: vet depscheck lint test race chaos chaos-service crashtest loadtest
 
 build:
 	$(GO) build ./...
@@ -75,6 +76,16 @@ chaos: build
 # artifact; any violated assertion exits non-zero.
 chaos-service: build
 	$(GO) run ./cmd/rmscaled chaos -specs 12 -clients 3 -v -report chaos_report.json
+
+# Crash-consistency enumeration: canonical journal/store workloads run
+# on a simulated filesystem, a power cut is enumerated at every
+# filesystem op (plus torn/garbled tails of the final append), and the
+# persistence layer restarts on each materialized disk image. Recovery
+# must always succeed, never serve wrong bytes, and never lose an
+# acknowledged durable result. The report is the CI artifact; any
+# violated invariant exits non-zero.
+crashtest: build
+	$(GO) run ./cmd/rmscaled crashtest -v -report crashtest_report.json
 
 # rmscaled load smoke: one scaled-down load iteration through the full
 # HTTP service (submit / stream / fetch, dedup audited, exit non-zero

@@ -10,12 +10,14 @@
 //	                 [-attempts N] [-exec-timeout D] [-breaker-threshold N]
 //	                 [-breaker-cooldown D] [-store-max-results N]
 //	                 [-store-max-bytes N] [-store-max-age D]
+//	                 [-store-max-quarantine N]
 //	rmscaled submit  [-addr HOST] [-wait] -kind sim -model M [-seed N] [-horizon F]
 //	rmscaled submit  [-addr HOST] [-wait] -kind case|churn -case 1..4 -fidelity F [-seed N]
 //	rmscaled status  [-addr HOST] ID
 //	rmscaled fetch   [-addr HOST] ID
 //	rmscaled loadtest [-objects N] [-distinct N] [-clients N] [-seed N]
 //	rmscaled chaos   [-dir DIR] [-specs N] [-clients N] [-seed N] [-report FILE]
+//	rmscaled crashtest [-sector N] [-max-torn N] [-workload NAME] [-report FILE]
 //
 // serve runs the daemon until SIGINT/SIGTERM, then drains gracefully:
 // in-flight experiments finish, the queued backlog stays checkpointed
@@ -43,6 +45,15 @@
 // against in-process daemons, verifying every result byte-identical
 // to a fault-free reference. It writes the report as JSON and exits
 // non-zero if any assertion failed.
+//
+// crashtest runs the crash-consistency harness (internal/service/crash)
+// entirely in memory: canonical journal/store workloads execute on a
+// simulated filesystem, the harness enumerates a power cut at every
+// recorded filesystem op — plus torn- and garbled-tail variants of
+// the final append — and restarts the persistence layer on each
+// materialized disk image, asserting that recovery never fails, never
+// serves wrong bytes, and never loses an acknowledged durable result.
+// It prints the report as JSON and exits non-zero on any violation.
 package main
 
 import (
@@ -62,6 +73,7 @@ import (
 
 	"rmscale/internal/service"
 	"rmscale/internal/service/chaos"
+	"rmscale/internal/service/crash"
 	"rmscale/internal/service/loadgen"
 )
 
@@ -85,6 +97,8 @@ func main() {
 		err = loadtestCmd(args)
 	case "chaos":
 		err = chaosCmd(args)
+	case "crashtest":
+		err = crashtestCmd(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -96,13 +110,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: rmscaled <serve|submit|status|fetch|loadtest|chaos> [flags]
+	fmt.Fprintln(os.Stderr, `usage: rmscaled <serve|submit|status|fetch|loadtest|chaos|crashtest> [flags]
   serve     run the daemon (SIGTERM drains gracefully; -dir resumes)
   submit    submit an experiment spec to a running daemon
   status    print an experiment's status
   fetch     print an experiment's stored result
   loadtest  run the in-process load iteration and print its metrics
   chaos     run the service chaos harness and print its report
+  crashtest enumerate crash points of the persistence layer and print the report
 run 'rmscaled <command> -h' for the command's flags`)
 }
 
@@ -122,6 +137,7 @@ func serveCmd(args []string) error {
 	storeMaxResults := fs.Int("store-max-results", 0, "result store GC: max retained payloads, LRU-evicted beyond (0 = unbounded)")
 	storeMaxBytes := fs.Int64("store-max-bytes", 0, "result store GC: max memory-tier payload bytes (0 = unbounded)")
 	storeMaxAge := fs.Duration("store-max-age", 0, "result store GC: evict payloads untouched this long (0 = unbounded)")
+	storeMaxQuarantine := fs.Int("store-max-quarantine", 0, "max quarantined corrupt payloads kept for forensics, oldest evicted beyond (0 = default 64)")
 	fs.Parse(args)
 
 	var logw io.Writer = os.Stderr
@@ -133,6 +149,7 @@ func serveCmd(args []string) error {
 		MaxAttempts: *attempts, ExecTimeout: *execTimeout,
 		BreakerThreshold: *brkThreshold, BreakerCooldown: *brkCooldown,
 		StoreMaxResults: *storeMaxResults, StoreMaxBytes: *storeMaxBytes, StoreMaxAge: *storeMaxAge,
+		StoreMaxQuarantine: *storeMaxQuarantine,
 	})
 	if err != nil {
 		return err
@@ -422,6 +439,45 @@ func chaosCmd(args []string) error {
 	}
 	if !rep.OK {
 		return fmt.Errorf("chaos: %d assertion(s) failed", len(rep.Failures))
+	}
+	return nil
+}
+
+// crashtestCmd runs the crash-consistency harness and prints (and
+// optionally writes) its report; any invariant violation exits
+// non-zero.
+func crashtestCmd(args []string) error {
+	fs := flag.NewFlagSet("crashtest", flag.ExitOnError)
+	sector := fs.Int("sector", 64, "torn-append granularity in bytes")
+	maxTorn := fs.Int("max-torn", 3, "torn-tail prefixes materialized per crash point")
+	workload := fs.String("workload", "", "run only this workload (comma-separated names; empty = all)")
+	report := fs.String("report", "", "also write the report JSON to this file")
+	verbose := fs.Bool("v", false, "print per-workload progress to stderr")
+	fs.Parse(args)
+
+	opts := crash.Options{Sector: *sector, MaxTorn: *maxTorn}
+	if *workload != "" {
+		opts.Workloads = strings.Split(*workload, ",")
+	}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	rep, err := crash.Run(opts)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	if *report != "" {
+		if err := os.WriteFile(*report, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if !rep.OK {
+		return fmt.Errorf("crashtest: %d invariant violation(s) across %d crash states", rep.FailureCount, rep.States)
 	}
 	return nil
 }

@@ -79,6 +79,10 @@ var DefaultConfig = Config{
 		"rmscale/internal/service",
 		"rmscale/internal/service/loadgen",
 		"rmscale/internal/service/chaos",
+		// The crash-consistency harness replays the persistence layer on
+		// simulated disks; its results must be seed-reproducible, so it
+		// runs on a frozen clock and never touches global RNG.
+		"rmscale/internal/service/crash",
 	},
 	Kernel: []string{
 		"rmscale/internal/sim",
@@ -103,6 +107,10 @@ var DefaultConfig = Config{
 		"rmscale/internal/service",
 		"rmscale/internal/service/loadgen",
 		"rmscale/internal/service/chaos",
+		// Crash enumeration is deliberately single-threaded: one op
+		// trace, one crash point at a time. Concurrency here would
+		// destroy the prefix-exact replay the harness depends on.
+		"rmscale/internal/service/crash",
 	},
 	// Map-iteration order can leak into any rendered table, figure,
 	// JSON file or checkpoint, so the whole module is covered — the
@@ -123,6 +131,7 @@ var DefaultConfig = Config{
 		"rmscale/internal/service",
 		"rmscale/internal/service/loadgen",
 		"rmscale/internal/service/chaos",
+		"rmscale/internal/service/crash",
 	},
 
 	// Packages deliberately outside the curated SimVisible/Kernel/
@@ -130,10 +139,10 @@ var DefaultConfig = Config{
 	// analyzers (mapiterorder, rmsexhaustive, hotalloc) still cover
 	// them.
 	Exempt: map[string]string{
-		"rmscale/internal/runner":    "parallelizes whole single-threaded simulations; wall-clock scheduling and worker goroutines are its job, and sim-visibility stops at its API",
-		"rmscale/internal/fsutil":    "filesystem plumbing beneath the store and journal; blocking IO is its purpose and no simulation state flows through it",
-		"rmscale/internal/perfbench": "benchmark harness; reads the wall clock by design to measure it",
-		"rmscale/internal/lint/...":  "the analyzers themselves; never linked into a simulation binary",
+		"rmscale/internal/runner":     "parallelizes whole single-threaded simulations; wall-clock scheduling and worker goroutines are its job, and sim-visibility stops at its API",
+		"rmscale/internal/fsutil/...": "filesystem plumbing beneath the store and journal (and the simulated crash filesystem that models it); blocking IO is its purpose and no simulation state flows through it",
+		"rmscale/internal/perfbench":  "benchmark harness; reads the wall clock by design to measure it",
+		"rmscale/internal/lint/...":   "the analyzers themselves; never linked into a simulation binary",
 	},
 
 	EnumPkg:  "rmscale/internal/rms",

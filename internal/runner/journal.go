@@ -32,7 +32,7 @@ const journalVersion = 1
 // run shape that wrote it.
 type Journal struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       fsutil.File
 	fs      fsutil.FS
 	entries map[string]json.RawMessage
 	dropped int
@@ -58,58 +58,72 @@ func OpenJournal(dir, fingerprint string) (j *Journal, resumed bool, err error) 
 	return OpenJournalFS(dir, fingerprint, fsutil.RealFS{})
 }
 
-// OpenJournalFS is OpenJournal with an injectable durable-write seam
-// (fault-injection harnesses script append failures through it; nil
-// means the real filesystem).
+// OpenJournalFS is OpenJournal with an injectable filesystem seam
+// (fault-injection harnesses script append failures through it, the
+// crash harness enumerates power cuts; nil means the real
+// filesystem).
 //
 // Tail recovery: a journal whose file ends in a truncated or garbled
 // line — the signature of a killed or faulty writer — is recovered to
 // its longest valid prefix. The records of that prefix load normally,
-// the file is truncated back to the prefix boundary so later appends
-// cannot concatenate onto the garbage, and Dropped reports how many
-// lines were discarded.
+// the file is truncated back to the prefix boundary (and the cut
+// synced, so a second crash cannot resurrect the garbage under a
+// later append), and Dropped reports how many lines were discarded.
+// A file whose header line itself never became valid — a crash
+// between journal creation and the header's fsync — recovers as a
+// fresh journal with every damaged line counted in Dropped; only a
+// VALID header naming the wrong fingerprint or version is refused,
+// because that is a caller error, not crash damage.
 func OpenJournalFS(dir, fingerprint string, fs fsutil.FS) (j *Journal, resumed bool, err error) {
 	if fs == nil {
 		fs = fsutil.RealFS{}
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, false, fmt.Errorf("runner: run dir: %w", err)
 	}
 	path := filepath.Join(dir, journalName)
 	entries := make(map[string]json.RawMessage)
 	dropped, validEnd := 0, int64(-1)
-	if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
-		hdr, recs, goodBytes, badLines, err := parseJournal(b)
-		if err != nil {
-			return nil, false, err
-		}
-		if hdr.Header.Version != journalVersion {
-			return nil, false, fmt.Errorf("runner: journal %s has version %d, want %d",
-				path, hdr.Header.Version, journalVersion)
-		}
-		if hdr.Header.Fingerprint != fingerprint {
-			return nil, false, fmt.Errorf("runner: journal %s was written by a different run "+
-				"(journal %q, this run %q); pass a fresh -resume directory or rerun with the "+
-				"original parameters", path, hdr.Header.Fingerprint, fingerprint)
-		}
-		entries = recs
-		resumed = true
-		if badLines > 0 {
+	if b, err := fs.ReadFile(path); err == nil && len(b) > 0 {
+		hdr, recs, goodBytes, badLines, headerless := parseJournal(b)
+		if headerless {
 			dropped = badLines
-			validEnd = int64(goodBytes)
+			validEnd = 0
+		} else {
+			if hdr.Header.Version != journalVersion {
+				return nil, false, fmt.Errorf("runner: journal %s has version %d, want %d",
+					path, hdr.Header.Version, journalVersion)
+			}
+			if hdr.Header.Fingerprint != fingerprint {
+				return nil, false, fmt.Errorf("runner: journal %s was written by a different run "+
+					"(journal %q, this run %q); pass a fresh -resume directory or rerun with the "+
+					"original parameters", path, hdr.Header.Fingerprint, fingerprint)
+			}
+			entries = recs
+			resumed = true
+			if badLines > 0 {
+				dropped = badLines
+				validEnd = int64(goodBytes)
+			}
 		}
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, false, fmt.Errorf("runner: journal: %w", err)
 	}
 	if validEnd >= 0 {
 		// Cut the garbage tail before the first append lands after it;
 		// otherwise the next record would concatenate onto a partial
-		// line and corrupt itself too.
+		// line and corrupt itself too. The sync commits the cut: an
+		// unsynced truncation could resurrect the garbage tail after
+		// the next power loss.
 		if err := f.Truncate(validEnd); err != nil {
 			f.Close()
 			return nil, false, fmt.Errorf("runner: journal %s: truncating corrupt tail: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, false, fmt.Errorf("runner: journal %s: syncing truncated tail: %w", path, err)
 		}
 	}
 	j = &Journal{f: f, fs: fs, entries: entries, dropped: dropped}
@@ -120,6 +134,13 @@ func OpenJournalFS(dir, fingerprint string, fs fsutil.FS) (j *Journal, resumed b
 		if err := j.appendLine(hdr); err != nil {
 			f.Close()
 			return nil, false, err
+		}
+		// A fresh journal's directory entry must be durable before the
+		// first record is acknowledged, or a power cut could drop the
+		// whole file while its records count as committed.
+		if err := fs.SyncDir(dir); err != nil {
+			f.Close()
+			return nil, false, fmt.Errorf("runner: journal %s: syncing dir: %w", path, err)
 		}
 	}
 	return j, resumed, nil
@@ -132,7 +153,10 @@ func OpenJournalFS(dir, fingerprint string, fs fsutil.FS) (j *Journal, resumed b
 // remainder. Records past a garbled line are deliberately not trusted
 // — a writer that corrupted one line may have corrupted what follows,
 // and the caller truncates the file back to goodBytes anyway.
-func parseJournal(b []byte) (hdr journalHeader, recs map[string]json.RawMessage, goodBytes, badLines int, err error) {
+// A first line that is not a valid, terminated header reports
+// headerless: the whole file is a dropped tail (badLines counts every
+// non-empty line) and the caller starts the journal over.
+func parseJournal(b []byte) (hdr journalHeader, recs map[string]json.RawMessage, goodBytes, badLines int, headerless bool) {
 	sc := bufio.NewScanner(bytes.NewReader(b))
 	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
 	recs = make(map[string]json.RawMessage)
@@ -148,9 +172,19 @@ func parseJournal(b []byte) (hdr journalHeader, recs map[string]json.RawMessage,
 			offset = lineEnd
 			continue
 		}
+		// A line whose newline never landed was not durably committed,
+		// even if its JSON happens to parse; keeping it would let the
+		// next append concatenate onto it.
+		unterminated := lineEnd == len(b) && b[len(b)-1] != '\n'
 		if first {
-			if err := json.Unmarshal(line, &hdr); err != nil || hdr.Header.Version == 0 {
-				return hdr, nil, 0, 0, fmt.Errorf("runner: journal has no valid header line")
+			if err := json.Unmarshal(line, &hdr); err != nil || hdr.Header.Version == 0 || unterminated {
+				badLines++
+				for sc.Scan() {
+					if len(sc.Bytes()) > 0 {
+						badLines++
+					}
+				}
+				return journalHeader{}, nil, 0, badLines, true
 			}
 			first = false
 			offset = lineEnd
@@ -158,10 +192,6 @@ func parseJournal(b []byte) (hdr journalHeader, recs map[string]json.RawMessage,
 			continue
 		}
 		var rec journalRecord
-		// A record whose newline never landed was not durably committed,
-		// even if its JSON happens to parse; keeping it would let the
-		// next append concatenate onto it.
-		unterminated := lineEnd == len(b) && b[len(b)-1] != '\n'
 		if err := json.Unmarshal(line, &rec); err != nil || rec.ID == "" || unterminated {
 			// Invalid record: everything from here on is the dropped
 			// tail. Count its lines and stop trusting the file.
@@ -171,16 +201,17 @@ func parseJournal(b []byte) (hdr journalHeader, recs map[string]json.RawMessage,
 					badLines++
 				}
 			}
-			return hdr, recs, goodBytes, badLines, nil
+			return hdr, recs, goodBytes, badLines, false
 		}
 		recs[rec.ID] = rec.Data
 		offset = lineEnd
 		goodBytes = offset
 	}
 	if first {
-		return hdr, nil, 0, 0, fmt.Errorf("runner: journal has no valid header line")
+		// Only whitespace: treat as headerless with nothing to drop.
+		return journalHeader{}, nil, 0, 0, true
 	}
-	return hdr, recs, goodBytes, badLines, nil
+	return hdr, recs, goodBytes, badLines, false
 }
 
 // Dropped reports how many journal lines were discarded as a corrupt

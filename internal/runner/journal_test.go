@@ -138,14 +138,41 @@ func TestJournalRecordIdempotent(t *testing.T) {
 	}
 }
 
-func TestJournalRejectsGarbage(t *testing.T) {
+// TestJournalRecoversHeaderlessGarbage pins the crash-recovery
+// contract for a file whose header never became valid — a power cut
+// between journal creation and the header fsync, or whole-file
+// damage. No record of such a file was ever acknowledged, so open
+// must succeed with a fresh journal, report the damaged lines as
+// dropped, and leave the file usable for new records.
+func TestJournalRecoversHeaderlessGarbage(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, journalName)
-	if err := os.WriteFile(path, []byte("not json at all\n"), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte("not json at all\nmore garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := OpenJournal(dir, "fp"); err == nil {
-		t.Fatal("garbage journal accepted")
+	j, resumed, err := OpenJournal(dir, "fp")
+	if err != nil {
+		t.Fatalf("headerless journal not recovered: %v", err)
+	}
+	defer j.Close()
+	if resumed {
+		t.Fatal("garbage journal reported as resumed")
+	}
+	if j.Dropped() != 2 {
+		t.Fatalf("Dropped() = %d, want 2 damaged lines", j.Dropped())
+	}
+	if err := j.Record("id", fakePoint{G: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The rewritten file must reopen cleanly with the record intact.
+	j.Close()
+	j2, resumed, err := OpenJournal(dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !resumed || j2.Len() != 1 || j2.Dropped() != 0 {
+		t.Fatalf("reopen after recovery: resumed=%v len=%d dropped=%d", resumed, j2.Len(), j2.Dropped())
 	}
 }
 

@@ -187,9 +187,12 @@ func faultAt(o Options, j int) faultKind {
 }
 
 // FaultFS is the injectable filesystem fault: every k-th durable file
-// write fails; journal appends pass through. It wraps the real
-// filesystem so successful writes are real writes.
+// write fails; every other operation (journal appends included)
+// passes through to the embedded real filesystem, so successful
+// writes are real writes.
 type FaultFS struct {
+	fsutil.RealFS
+
 	// Every fails each Every-th WriteFileAtomic; <= 0 never fails.
 	Every int
 
@@ -212,11 +215,6 @@ func (f *FaultFS) WriteFileAtomic(path string, data []byte, perm os.FileMode) er
 		return fmt.Errorf("chaos: injected write fault on durable write #%d (%s)", n, filepath.Base(path))
 	}
 	return fsutil.RealFS{}.WriteFileAtomic(path, data, perm)
-}
-
-// AppendSync passes journal appends through untouched.
-func (f *FaultFS) AppendSync(fh *os.File, b []byte) error {
-	return fsutil.RealFS{}.AppendSync(fh, b)
 }
 
 // Faults reports how many writes were failed so far.

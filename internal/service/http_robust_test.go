@@ -19,23 +19,23 @@ import (
 )
 
 // flakyWriteFS fails durable file writes (the store's path) while
-// letting journal appends through — a disk that corrupts new files but
-// still appends.
-type flakyWriteFS struct{ err error }
+// letting journal appends and every other op through — a disk that
+// corrupts new files but still appends.
+type flakyWriteFS struct {
+	fsutil.RealFS
+	err error
+}
 
 func (f flakyWriteFS) WriteFileAtomic(string, []byte, os.FileMode) error { return f.err }
-func (f flakyWriteFS) AppendSync(fh *os.File, b []byte) error {
-	return fsutil.RealFS{}.AppendSync(fh, b)
-}
 
 // appendFailFS fails journal appends while letting store writes
 // through — durability lost mid-flight.
-type appendFailFS struct{ err error }
-
-func (f appendFailFS) WriteFileAtomic(path string, b []byte, perm os.FileMode) error {
-	return fsutil.RealFS{}.WriteFileAtomic(path, b, perm)
+type appendFailFS struct {
+	fsutil.RealFS
+	err error
 }
-func (f appendFailFS) AppendSync(*os.File, []byte) error { return f.err }
+
+func (f appendFailFS) AppendSync(fsutil.File, []byte) error { return f.err }
 
 // TestHTTPStreamClientDisconnectReleasesHandler pins the streaming
 // leak fix: a client hanging up mid-stream must release its parked

@@ -103,18 +103,20 @@ type Stats struct {
 	Draining      bool  `json:"draining"`
 
 	// Supervision and integrity accounting (the self-healing surface).
-	Retries         int64  `json:"retries"`          // supervised re-attempts after a failed execution try
-	ExecPanics      int64  `json:"exec_panics"`      // executor panics converted to failures
-	ExecTimeouts    int64  `json:"exec_timeouts"`    // executions cancelled at their deadline
-	BreakerTrips    int64  `json:"breaker_trips"`    // times the circuit breaker opened
-	BreakerOpen     bool   `json:"breaker_open"`     // breaker currently shedding
-	Shed            int64  `json:"shed"`             // submissions shed by the open breaker
-	Reexecuted      int64  `json:"reexecuted"`       // done experiments re-queued after their result was lost (corrupt or evicted)
-	CorruptResults  int64  `json:"corrupt_results"`  // store entries that failed checksum verification (quarantined)
-	EvictedResults  int64  `json:"evicted_results"`  // store entries evicted by GC
-	StoreBytes      int64  `json:"store_bytes"`      // memory-tier payload bytes
-	JournalDropped  int    `json:"journal_dropped"`  // corrupt journal tail lines dropped at startup
-	JournalSkipped  int    `json:"journal_skipped"`  // malformed journal records skipped at startup
+	Retries         int64  `json:"retries"`                    // supervised re-attempts after a failed execution try
+	ExecPanics      int64  `json:"exec_panics"`                // executor panics converted to failures
+	ExecTimeouts    int64  `json:"exec_timeouts"`              // executions cancelled at their deadline
+	BreakerTrips    int64  `json:"breaker_trips"`              // times the circuit breaker opened
+	BreakerOpen     bool   `json:"breaker_open"`               // breaker currently shedding
+	Shed            int64  `json:"shed"`                       // submissions shed by the open breaker
+	Reexecuted      int64  `json:"reexecuted"`                 // done experiments re-queued after their result was lost (corrupt or evicted)
+	CorruptResults  int64  `json:"corrupt_results"`            // store entries that failed checksum verification (quarantined)
+	EvictedResults  int64  `json:"evicted_results"`            // store entries evicted by GC
+	QuarantineLen   int    `json:"quarantine_len"`             // corrupt pairs currently held in quarantine
+	QuarantineGC    int64  `json:"quarantine_evicted"`         // quarantined pairs dropped by the quarantine bound
+	StoreBytes      int64  `json:"store_bytes"`                // memory-tier payload bytes
+	JournalDropped  int    `json:"journal_dropped"`            // corrupt journal tail lines dropped at startup
+	JournalSkipped  int    `json:"journal_skipped"`            // malformed journal records skipped at startup
 	StoreDegraded   string `json:"store_degraded,omitempty"`   // non-empty: store fell back to memory-only (why)
 	JournalDegraded string `json:"journal_degraded,omitempty"` // non-empty: submissions no longer journaled (why)
 	Degraded        bool   `json:"degraded"`                   // any degradation condition active
@@ -175,6 +177,9 @@ type Config struct {
 	StoreMaxResults int
 	StoreMaxBytes   int64
 	StoreMaxAge     time.Duration
+	// StoreMaxQuarantine bounds the quarantine directory (oldest pairs
+	// evicted first); <= 0 picks DefaultMaxQuarantine.
+	StoreMaxQuarantine int
 }
 
 // Daemon is a running rmscaled instance.
@@ -220,12 +225,13 @@ func New(cfg Config) (*Daemon, error) {
 		cfg.BreakerCooldown = 30 * time.Second
 	}
 	store, err := NewStore(StoreConfig{
-		Dir:        cfg.Dir,
-		MaxResults: cfg.StoreMaxResults,
-		MaxBytes:   cfg.StoreMaxBytes,
-		MaxAge:     cfg.StoreMaxAge,
-		Clock:      cfg.Clock,
-		FS:         cfg.FS,
+		Dir:           cfg.Dir,
+		MaxResults:    cfg.StoreMaxResults,
+		MaxBytes:      cfg.StoreMaxBytes,
+		MaxAge:        cfg.StoreMaxAge,
+		MaxQuarantine: cfg.StoreMaxQuarantine,
+		Clock:         cfg.Clock,
+		FS:            cfg.FS,
 	})
 	if err != nil {
 		return nil, err
@@ -244,6 +250,11 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	d.cond = sync.NewCond(&d.mu)
 	if cfg.Dir != "" {
+		// Audit the disk tier before replaying the journal: corrupt
+		// entries are quarantined and orphaned temp files swept now, so
+		// resume sees the healed disk and the recovery summary below
+		// reports what a crash actually cost.
+		audit := store.Audit()
 		j, _, err := runner.OpenJournalFS(cfg.Dir, journalFingerprint, cfg.FS)
 		if err != nil {
 			return nil, err
@@ -257,6 +268,16 @@ func New(cfg Config) (*Daemon, error) {
 			j.Close()
 			return nil, err
 		}
+		d.logEvent("recovery", map[string]any{
+			"journal_kept":      j.Len(),
+			"journal_dropped":   j.Dropped(),
+			"journal_skipped":   d.stats.JournalSkipped,
+			"resumed":           d.stats.Resumed,
+			"store_verified":    audit.Verified,
+			"store_quarantined": audit.Quarantined,
+			"store_backfilled":  audit.Backfilled,
+			"temps_cleaned":     audit.TempsCleaned,
+		})
 	}
 	d.logEvent("start", map[string]any{
 		"dir": cfg.Dir, "shards": cfg.Shards, "queue_cap": cfg.QueueCap,
@@ -553,6 +574,8 @@ func (d *Daemon) Stats() Stats {
 	s.StoreBytes = ss.Bytes
 	s.EvictedResults = ss.Evicted
 	s.CorruptResults = ss.Corrupt
+	s.QuarantineLen = ss.QuarantineLen
+	s.QuarantineGC = ss.QuarantineEvicted
 	s.StoreDegraded = ss.Degraded
 	s.JournalDegraded = d.jDegrade
 	s.BreakerOpen = d.brk.open && d.clock.Now().Before(d.brk.openUntil)

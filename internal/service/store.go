@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -41,12 +40,13 @@ type Store struct {
 	// Configuration, immutable after NewStore: declared above the
 	// mutex so the guarded-field discipline (locksafe) does not bind
 	// lock-free readers like payloadPath and readDisk to it.
-	dir        string // "" = memory only
-	clock      Clock
-	fs         fsutil.FS
-	maxResults int
-	maxBytes   int64
-	maxAge     time.Duration
+	dir           string // "" = memory only
+	clock         Clock
+	fs            fsutil.FS
+	maxResults    int
+	maxBytes      int64
+	maxAge        time.Duration
+	maxQuarantine int
 
 	mu       sync.Mutex
 	mem      map[string]*storeEntry
@@ -54,6 +54,9 @@ type Store struct {
 	seq      int64 // access counter driving LRU order
 	evicted  int64
 	corrupt  int64
+	qseq     int64  // last quarantine sequence number issued
+	qlen     int    // quarantined pairs currently on disk
+	qevicted int64  // quarantined pairs evicted by the bound
 	degraded string // non-empty: disk tier is offline (mem-only mode)
 }
 
@@ -77,45 +80,91 @@ type StoreConfig struct {
 	// MaxAge evicts entries not stored/promoted within the window;
 	// <= 0 unlimited.
 	MaxAge time.Duration
+	// MaxQuarantine bounds how many corrupt pairs the quarantine
+	// directory retains; beyond it the oldest are deleted. <= 0 picks
+	// the default (64) — the quarantine exists for forensics on recent
+	// corruption and must not grow without limit on a flaky disk.
+	MaxQuarantine int
 	// Clock stamps entries for MaxAge; nil uses the wall clock.
 	Clock Clock
-	// FS is the durable-write seam; nil uses the real filesystem.
+	// FS is the filesystem seam; nil uses the real filesystem.
 	FS fsutil.FS
 }
 
+// DefaultMaxQuarantine bounds the quarantine directory when
+// StoreConfig.MaxQuarantine does not.
+const DefaultMaxQuarantine = 64
+
 // StoreStats is the store's accounting snapshot.
 type StoreStats struct {
-	Len      int
-	Bytes    int64
-	Evicted  int64
-	Corrupt  int64
-	Degraded string
+	Len               int
+	Bytes             int64
+	Evicted           int64
+	Corrupt           int64
+	QuarantineLen     int
+	QuarantineEvicted int64
+	Degraded          string
 }
 
 // NewStore returns a store persisting under cfg.Dir/results, or a
 // purely in-memory store when cfg.Dir is empty.
 func NewStore(cfg StoreConfig) (*Store, error) {
-	s := &Store{
-		mem:        make(map[string]*storeEntry),
-		clock:      cfg.Clock,
-		fs:         cfg.FS,
-		maxResults: cfg.MaxResults,
-		maxBytes:   cfg.MaxBytes,
-		maxAge:     cfg.MaxAge,
+	clock := cfg.Clock
+	if clock == nil {
+		clock = realClock{}
 	}
-	if s.clock == nil {
-		s.clock = realClock{}
+	fs := cfg.FS
+	if fs == nil {
+		fs = fsutil.RealFS{}
 	}
-	if s.fs == nil {
-		s.fs = fsutil.RealFS{}
+	maxQ := cfg.MaxQuarantine
+	if maxQ <= 0 {
+		maxQ = DefaultMaxQuarantine
 	}
+	dir := ""
+	var qseq int64
+	var qlen int
 	if cfg.Dir != "" {
-		s.dir = filepath.Join(cfg.Dir, "results")
-		if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		dir = filepath.Join(cfg.Dir, "results")
+		if err := fs.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("service: result store dir: %w", err)
 		}
+		qseq, qlen = scanQuarantine(fs, filepath.Join(dir, "quarantine"))
 	}
-	return s, nil
+	return &Store{
+		mem:           make(map[string]*storeEntry),
+		clock:         clock,
+		fs:            fs,
+		dir:           dir,
+		maxResults:    cfg.MaxResults,
+		maxBytes:      cfg.MaxBytes,
+		maxAge:        cfg.MaxAge,
+		maxQuarantine: maxQ,
+		qseq:          qseq,
+		qlen:          qlen,
+	}, nil
+}
+
+// scanQuarantine recovers the quarantine bookkeeping from disk: the
+// highest sequence number ever issued (so restarts keep names
+// monotonic and oldest-first eviction order intact) and how many
+// quarantined pairs are present.
+func scanQuarantine(fs fsutil.FS, qdir string) (qseq int64, qlen int) {
+	names, err := fs.ReadDir(qdir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, n := range names {
+		if strings.HasSuffix(n, ".sha256") {
+			continue
+		}
+		qlen++
+		var seq int64
+		if _, err := fmt.Sscanf(n, "q%d-", &seq); err == nil && seq > qseq {
+			qseq = seq
+		}
+	}
+	return qseq, qlen
 }
 
 // payloadPath and sumPath locate an ID's disk pair.
@@ -145,8 +194,8 @@ func (s *Store) Get(id string) ([]byte, bool) {
 	if s.dir == "" {
 		return nil, false
 	}
-	b, ok := s.readDisk(id)
-	if !ok {
+	b, st := s.readDisk(id)
+	if !st.servable() {
 		return nil, false
 	}
 	//lint:allow locksafe promotion GC unlinks at most a few evicted files; it must stay atomic with the LRU accounting it rewrites
@@ -164,44 +213,95 @@ func (s *Store) Get(id string) ([]byte, bool) {
 	return b, true
 }
 
+// diskState classifies what readDisk found for an ID.
+type diskState int
+
+const (
+	diskMissing    diskState = iota // no payload on disk
+	diskOK                          // payload verified against its sidecar
+	diskBackfilled                  // legacy payload adopted, sidecar written
+	diskCorrupt                     // checksum mismatch; pair quarantined
+)
+
+// servable reports whether the state carries valid payload bytes.
+func (st diskState) servable() bool { return st == diskOK || st == diskBackfilled }
+
 // readDisk loads and verifies the disk pair for id; corruption
 // quarantines it. A payload without a sidecar (written by a pre-
-// checksum store generation) is accepted and its sidecar backfilled.
-func (s *Store) readDisk(id string) ([]byte, bool) {
-	b, err := os.ReadFile(s.payloadPath(id))
+// checksum store generation, or by a crash between payload and
+// sidecar writes) is accepted and its sidecar backfilled.
+func (s *Store) readDisk(id string) ([]byte, diskState) {
+	b, err := s.fs.ReadFile(s.payloadPath(id))
 	if err != nil {
-		return nil, false
+		return nil, diskMissing
 	}
-	sum, err := os.ReadFile(s.sumPath(id))
+	sum, err := s.fs.ReadFile(s.sumPath(id))
 	if err != nil {
 		// Legacy entry: adopt it and give it a sidecar.
 		_ = s.fs.WriteFileAtomic(s.sumPath(id), []byte(checksum(b)+"\n"), 0o644)
-		return b, true
+		return b, diskBackfilled
 	}
 	if strings.TrimSpace(string(sum)) != checksum(b) {
 		s.quarantine(id)
 		s.mu.Lock()
 		s.corrupt++
 		s.mu.Unlock()
-		return nil, false
+		return nil, diskCorrupt
 	}
-	return b, true
+	return b, diskOK
 }
 
 // quarantine moves a corrupt disk pair aside so it cannot be served
-// again but stays available for forensics.
+// again but stays available for forensics. Quarantined names carry a
+// monotonic sequence prefix ("q%08d-<name>") so lexicographic order
+// is arrival order, which is what lets the bound evict oldest-first.
 func (s *Store) quarantine(id string) {
 	qdir := filepath.Join(s.dir, "quarantine")
-	if err := os.MkdirAll(qdir, 0o755); err != nil {
-		_ = os.Remove(s.payloadPath(id))
-		_ = os.Remove(s.sumPath(id))
+	if err := s.fs.MkdirAll(qdir, 0o755); err != nil {
+		_ = s.fs.Remove(s.payloadPath(id))
+		_ = s.fs.Remove(s.sumPath(id))
 		return
 	}
+	s.mu.Lock()
+	s.qseq++
+	seq := s.qseq
+	s.qlen++
+	s.mu.Unlock()
 	for _, name := range []string{id + ".json", id + ".json.sha256"} {
-		if err := os.Rename(filepath.Join(s.dir, name), filepath.Join(qdir, name)); err != nil {
-			_ = os.Remove(filepath.Join(s.dir, name))
+		dst := filepath.Join(qdir, fmt.Sprintf("q%08d-%s", seq, name))
+		if err := s.fs.Rename(filepath.Join(s.dir, name), dst); err != nil {
+			_ = s.fs.Remove(filepath.Join(s.dir, name))
 		}
 	}
+	s.boundQuarantine()
+}
+
+// boundQuarantine deletes the oldest quarantined pairs beyond
+// maxQuarantine and refreshes the quarantine accounting from the
+// directory itself (the directory is the truth after crashes or
+// concurrent quarantines).
+func (s *Store) boundQuarantine() {
+	qdir := filepath.Join(s.dir, "quarantine")
+	names, err := s.fs.ReadDir(qdir)
+	if err != nil {
+		return
+	}
+	var payloads []string // sorted by ReadDir; prefix makes that arrival order
+	for _, n := range names {
+		if !strings.HasSuffix(n, ".sha256") {
+			payloads = append(payloads, n)
+		}
+	}
+	removed := 0
+	for i := 0; i < len(payloads)-s.maxQuarantine; i++ {
+		_ = s.fs.Remove(filepath.Join(qdir, payloads[i]))
+		_ = s.fs.Remove(filepath.Join(qdir, payloads[i]+".sha256"))
+		removed++
+	}
+	s.mu.Lock()
+	s.qlen = len(payloads) - removed
+	s.qevicted += int64(removed)
+	s.mu.Unlock()
 }
 
 // Has reports whether a valid result is stored under id. Disk entries
@@ -218,8 +318,8 @@ func (s *Store) Has(id string) bool {
 	if s.dir == "" {
 		return false
 	}
-	_, ok = s.readDisk(id)
-	return ok
+	_, st := s.readDisk(id)
+	return st.servable()
 }
 
 // Put stores the payload under id in memory and, when disk-backed and
@@ -317,8 +417,8 @@ func (s *Store) evictLocked(id string) {
 	s.bytes -= int64(len(e.b))
 	s.evicted++
 	if s.dir != "" {
-		_ = os.Remove(s.payloadPath(id))
-		_ = os.Remove(s.sumPath(id))
+		_ = s.fs.Remove(s.payloadPath(id))
+		_ = s.fs.Remove(s.sumPath(id))
 	}
 }
 
@@ -334,10 +434,65 @@ func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return StoreStats{
-		Len:      len(s.mem),
-		Bytes:    s.bytes,
-		Evicted:  s.evicted,
-		Corrupt:  s.corrupt,
-		Degraded: s.degraded,
+		Len:               len(s.mem),
+		Bytes:             s.bytes,
+		Evicted:           s.evicted,
+		Corrupt:           s.corrupt,
+		QuarantineLen:     s.qlen,
+		QuarantineEvicted: s.qevicted,
+		Degraded:          s.degraded,
 	}
+}
+
+// StoreAudit summarizes one startup integrity pass over the disk
+// tier.
+type StoreAudit struct {
+	Verified     int `json:"verified"`      // payloads whose checksum matched (backfills included)
+	Backfilled   int `json:"backfilled"`    // payloads that were missing a sidecar and got one
+	Quarantined  int `json:"quarantined"`   // corrupt pairs moved to quarantine
+	TempsCleaned int `json:"temps_cleaned"` // orphaned atomic-write temp files removed
+}
+
+// Audit walks the disk tier once, verifying every payload against its
+// sidecar: corrupt pairs are quarantined immediately (instead of on
+// first read), sidecar-less payloads are adopted and backfilled,
+// orphaned atomic-write temp files (a crash between temp creation and
+// rename) are deleted, and the quarantine bound is re-asserted in
+// case a crash interrupted a previous eviction. It is idempotent: a
+// second pass over the same disk finds nothing to repair. The daemon
+// runs it at startup so post-crash healing happens — and is logged —
+// before the first request arrives.
+func (s *Store) Audit() StoreAudit {
+	var a StoreAudit
+	if s.dir == "" {
+		return a
+	}
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return a
+	}
+	for _, n := range names {
+		switch {
+		case strings.HasPrefix(n, ".") && strings.HasSuffix(n, ".tmp"):
+			if s.fs.Remove(filepath.Join(s.dir, n)) == nil {
+				a.TempsCleaned++
+			}
+		case strings.HasSuffix(n, ".json"):
+			id := strings.TrimSuffix(n, ".json")
+			switch _, st := s.readDisk(id); st {
+			case diskOK:
+				a.Verified++
+			case diskBackfilled:
+				a.Verified++
+				a.Backfilled++
+			case diskCorrupt:
+				a.Quarantined++
+			case diskMissing:
+				// Entry vanished between ReadDir and ReadFile; nothing
+				// to account.
+			}
+		}
+	}
+	s.boundQuarantine()
+	return a
 }

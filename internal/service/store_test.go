@@ -6,14 +6,19 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"rmscale/internal/fsutil"
 )
 
 // failFS is an fsutil.FS whose durable writes always fail — the
 // smallest disk-fault injection.
-type failFS struct{ err error }
+type failFS struct {
+	fsutil.RealFS
+	err error
+}
 
 func (f failFS) WriteFileAtomic(string, []byte, os.FileMode) error { return f.err }
-func (f failFS) AppendSync(*os.File, []byte) error                 { return f.err }
+func (f failFS) AppendSync(fsutil.File, []byte) error              { return f.err }
 
 func mustNewStore(t *testing.T, cfg StoreConfig) *Store {
 	t.Helper()
@@ -45,8 +50,12 @@ func TestStoreChecksumQuarantine(t *testing.T) {
 	if st := s2.Stats(); st.Corrupt != 1 {
 		t.Fatalf("corrupt = %d, want 1", st.Corrupt)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "results", "quarantine", "aaa.json")); err != nil {
-		t.Fatalf("corrupt payload not quarantined: %v", err)
+	quarantined, err := filepath.Glob(filepath.Join(dir, "results", "quarantine", "q*-aaa.json"))
+	if err != nil || len(quarantined) != 1 {
+		t.Fatalf("corrupt payload not quarantined: %v (%v)", quarantined, err)
+	}
+	if st := s2.Stats(); st.QuarantineLen != 1 {
+		t.Fatalf("quarantine len = %d, want 1", st.QuarantineLen)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "results", "aaa.json")); !errors.Is(err, os.ErrNotExist) {
 		t.Fatal("corrupt payload still in place")
@@ -187,5 +196,92 @@ func TestStoreDegradedMemOnly(t *testing.T) {
 	}
 	if st := s.Stats(); st.Degraded == "" {
 		t.Fatal("stats does not surface degradation")
+	}
+}
+
+// corruptOnDisk flips the payload bytes for id behind the store's
+// back, so the next verified read quarantines the pair.
+func corruptOnDisk(t *testing.T, dir, id string) {
+	t.Helper()
+	path := filepath.Join(dir, "results", id+".json")
+	if err := os.WriteFile(path, []byte(`{"tampered":true}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreQuarantineBound pins the satellite: the quarantine
+// directory is capped, the oldest pairs are evicted first, and the
+// accounting is visible in Stats.
+func TestStoreQuarantineBound(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustNewStore(t, StoreConfig{Dir: dir})
+	ids := []string{"qa", "qb", "qc", "qd"}
+	for _, id := range ids {
+		s1.Put(id, []byte("payload-"+id))
+	}
+	for _, id := range ids {
+		corruptOnDisk(t, dir, id)
+	}
+	// A fresh store (empty memory tier) quarantines each on read, in
+	// order; the cap of 2 must keep only the two newest.
+	s2 := mustNewStore(t, StoreConfig{Dir: dir, MaxQuarantine: 2})
+	for _, id := range ids {
+		if _, ok := s2.Get(id); ok {
+			t.Fatalf("corrupt payload %s served", id)
+		}
+	}
+	st := s2.Stats()
+	if st.QuarantineLen != 2 || st.QuarantineEvicted != 2 || st.Corrupt != 4 {
+		t.Fatalf("stats = %+v, want qlen=2 qevicted=2 corrupt=4", st)
+	}
+	// Oldest-first: qa and qb are gone, qc and qd retained.
+	for i, id := range ids {
+		matches, _ := filepath.Glob(filepath.Join(dir, "results", "quarantine", "q*-"+id+".json"))
+		if wantKept := i >= 2; (len(matches) == 1) != wantKept {
+			t.Fatalf("quarantine retention for %s: matches=%v, want kept=%v", id, matches, wantKept)
+		}
+	}
+	// A restart recovers the bookkeeping (and keeps names monotonic).
+	s3 := mustNewStore(t, StoreConfig{Dir: dir, MaxQuarantine: 2})
+	if st := s3.Stats(); st.QuarantineLen != 2 {
+		t.Fatalf("restart lost quarantine accounting: %+v", st)
+	}
+}
+
+// TestStoreAudit pins the startup integrity pass: it verifies intact
+// entries, quarantines corrupt ones, backfills missing sidecars,
+// sweeps orphaned atomic-write temps, and is idempotent.
+func TestStoreAudit(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustNewStore(t, StoreConfig{Dir: dir})
+	s1.Put("good", []byte("fine"))
+	s1.Put("bad", []byte("will rot"))
+	s1.Put("legacy", []byte("no sidecar"))
+	corruptOnDisk(t, dir, "bad")
+	if err := os.Remove(filepath.Join(dir, "results", "legacy.json.sha256")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "results", ".orphan.json.tmp"), []byte("partial"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustNewStore(t, StoreConfig{Dir: dir})
+	a := s2.Audit()
+	if a.Verified != 2 || a.Backfilled != 1 || a.Quarantined != 1 || a.TempsCleaned != 1 {
+		t.Fatalf("audit = %+v, want verified=2 backfilled=1 quarantined=1 temps=1", a)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "results", ".orphan.json.tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("orphaned temp survived the audit")
+	}
+	if b, ok := s2.Get("legacy"); !ok || string(b) != "no sidecar" {
+		t.Fatalf("backfilled legacy entry unusable: ok=%v b=%q", ok, b)
+	}
+	if _, ok := s2.Get("bad"); ok {
+		t.Fatal("corrupt entry served after audit")
+	}
+	// Idempotent: a second pass finds a healed disk.
+	a2 := s2.Audit()
+	if a2.Verified != 2 || a2.Backfilled != 0 || a2.Quarantined != 0 || a2.TempsCleaned != 0 {
+		t.Fatalf("second audit = %+v, want verified=2 and nothing repaired", a2)
 	}
 }
