@@ -1,0 +1,124 @@
+// Cluster partitioning for in-run parallelism. The conservative
+// executor in internal/sim/par runs partitioned models concurrently in
+// lookahead-sized windows; this file is the grid side of that contract:
+// it derives the partition map and the lookahead bound from the built
+// topology, and — just as importantly — enumerates the couplings that
+// make today's engine observably serial, so RunPar can prove rather
+// than assume that falling back to the serial kernel is the only
+// byte-identical execution (see DESIGN.md §6.5).
+
+package grid
+
+import (
+	"fmt"
+
+	"rmscale/internal/sim"
+)
+
+// Plan is a partitioning decision for one built engine: which shard
+// each cluster would run on, the lookahead the topology supports, and
+// the census of couplings that force serial execution. A Plan is a pure
+// function of the engine's configuration and substrate; computing it
+// never disturbs the simulation.
+type Plan struct {
+	// Partitions maps cluster -> shard. The decomposition is the
+	// GridSim one — each scheduler cluster with its resources is one
+	// logical process — so the map is identity.
+	Partitions []int
+	// Lookahead is the minimum routed inter-scheduler network latency
+	// (scaled by the LinkDelayScale enabler): no cross-cluster message
+	// can take effect sooner, so windows of this length are safe. Zero
+	// when the grid has a single cluster.
+	Lookahead sim.Time
+	// CrossPairs counts ordered cluster pairs that exchange messages in
+	// the worst case (every pair: volunteering and transfers may touch
+	// any remote cluster).
+	CrossPairs int
+	// Couplings lists, in a stable order, every engine feature that
+	// makes event execution order observable across clusters — each one
+	// a reason byte-identical parallel execution is impossible without
+	// restructuring. Empty means the plan is safe to execute in
+	// parallel.
+	Couplings []string
+}
+
+// Parallelizable reports whether the engine could execute this plan's
+// shards concurrently and still produce byte-identical results.
+func (p *Plan) Parallelizable() bool { return len(p.Couplings) == 0 }
+
+// PlanPartitions derives the cluster partition map, the topology's
+// lookahead bound, and the serial-coupling census for this engine.
+func (e *Engine) PlanPartitions() (*Plan, error) {
+	p := &Plan{Partitions: make([]int, e.Clusters())}
+	for c := range p.Partitions {
+		p.Partitions[c] = c
+	}
+	p.CrossPairs = e.Clusters() * (e.Clusters() - 1)
+
+	// Lookahead: the minimum routed scheduler-to-scheduler latency.
+	// Resource-to-scheduler and estimator paths stay inside a shard (or
+	// are themselves couplings, censused below), so the inter-scheduler
+	// fabric is what bounds cross-shard causality.
+	for a := 0; a < e.Clusters(); a++ {
+		for b := a + 1; b < e.Clusters(); b++ {
+			lat, _, _, err := e.Net.Between(e.Map.SchedulerNode[a], e.Map.SchedulerNode[b])
+			if err != nil {
+				return nil, fmt.Errorf("grid: plan: no route between schedulers %d and %d: %w", a, b, err)
+			}
+			d := lat * e.Cfg.Enablers.LinkDelayScale
+			if p.Lookahead == 0 || d < p.Lookahead {
+				p.Lookahead = d
+			}
+		}
+	}
+
+	// Coupling census, most fundamental first. The order is fixed so
+	// plans are comparable across runs and the docs can cite entries.
+	if e.Clusters() < 2 {
+		p.Couplings = append(p.Couplings,
+			"single cluster: there is nothing to partition")
+	}
+	p.Couplings = append(p.Couplings,
+		"order-sensitive global accumulators: Metrics sums float work and response times in event-execution order, so any cross-cluster reordering changes the Summary")
+	if len(e.Estimators) > 0 {
+		p.Couplings = append(p.Couplings,
+			"shared estimator layer: estimators aggregate updates from every cluster (resource id modulo estimator count), so their state orders cross-cluster traffic")
+	}
+	if e.mw != nil {
+		p.Couplings = append(p.Couplings,
+			"global middleware FIFO: scheduler-initiated messages serialize through one queue whose order is the global event order")
+	}
+	if e.Cfg.Faults.UpdateLossProb > 0 || e.Cfg.Faults.ResourceMTBF > 0 || e.fs != nil {
+		p.Couplings = append(p.Couplings,
+			"shared fault stream: probabilistic faults draw from one RNG stream in global event order, so every cluster's faults depend on every other's event count")
+	}
+	return p, nil
+}
+
+// RunPar executes the simulation with up to workers-way in-run
+// parallelism wherever that provably preserves byte-identical results,
+// and serially everywhere it would not. Today the coupling census is
+// never empty — the global metric accumulators alone pin the serial
+// event interleaving that the committed goldens encode — so every plan
+// degrades to the serial kernel and RunPar is exactly Run. The method
+// still computes and retains the plan (see LastPlan): it is the
+// qualification gate that decides, per engine, when the conservative
+// executor in internal/sim/par may take over, and the equivalence suite
+// pins RunPar == Run at every worker count so the contract cannot
+// silently drift when a coupling is removed.
+func (e *Engine) RunPar(workers int) Summary {
+	if workers < 0 {
+		panic(fmt.Sprintf("grid: RunPar with %d workers", workers))
+	}
+	if workers > 1 {
+		plan, err := e.PlanPartitions()
+		if err == nil {
+			e.LastPlan = plan
+		}
+		// plan.Parallelizable() is the future dispatch point for a
+		// sharded engine over internal/sim/par; no engine build reaches
+		// it today (the census proves why), so there is no speculative
+		// sharding code behind it.
+	}
+	return e.Run()
+}

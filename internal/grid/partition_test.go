@@ -1,0 +1,180 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+
+	"rmscale/internal/topology"
+)
+
+func planFor(t *testing.T, cfg Config, p Policy) (*Engine, *Plan) {
+	t.Helper()
+	e, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := e.PlanPartitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, plan
+}
+
+func TestPlanPartitionsIdentityMapAndLookahead(t *testing.T) {
+	e, plan := planFor(t, testConfig(), &stubPolicy{})
+	if len(plan.Partitions) != e.Clusters() {
+		t.Fatalf("plan covers %d clusters, engine has %d", len(plan.Partitions), e.Clusters())
+	}
+	for c, p := range plan.Partitions {
+		if p != c {
+			t.Fatalf("cluster %d mapped to partition %d, want identity", c, p)
+		}
+	}
+	if plan.Lookahead <= 0 {
+		t.Fatalf("lookahead = %v on a %d-cluster grid, want positive", plan.Lookahead, e.Clusters())
+	}
+	if want := e.Clusters() * (e.Clusters() - 1); plan.CrossPairs != want {
+		t.Fatalf("CrossPairs = %d, want %d", plan.CrossPairs, want)
+	}
+	// Lookahead must be a lower bound on every inter-scheduler delay.
+	for a := 0; a < e.Clusters(); a++ {
+		for b := 0; b < e.Clusters(); b++ {
+			if a == b {
+				continue
+			}
+			lat, _, _, err := e.Net.Between(e.Map.SchedulerNode[a], e.Map.SchedulerNode[b])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := lat * e.Cfg.Enablers.LinkDelayScale; d < plan.Lookahead {
+				t.Fatalf("schedulers %d->%d delay %v beats lookahead %v", a, b, d, plan.Lookahead)
+			}
+		}
+	}
+}
+
+func TestPlanLookaheadScalesWithLinkDelay(t *testing.T) {
+	cfg := testConfig()
+	_, base := planFor(t, cfg, &stubPolicy{})
+	cfg.Enablers.LinkDelayScale = 3
+	_, scaled := planFor(t, cfg, &stubPolicy{})
+	if scaled.Lookahead != 3*base.Lookahead {
+		t.Fatalf("lookahead %v with LinkDelayScale 3, want %v", scaled.Lookahead, 3*base.Lookahead)
+	}
+}
+
+// TestPlanCouplingCensus pins the census: the global-accumulator
+// coupling is unconditional (it is why RunPar must stay serial), and
+// the conditional entries track exactly the features that are armed.
+func TestPlanCouplingCensus(t *testing.T) {
+	has := func(plan *Plan, frag string) bool {
+		for _, c := range plan.Couplings {
+			if strings.Contains(c, frag) {
+				return true
+			}
+		}
+		return false
+	}
+
+	cfg := testConfig()
+	_, plan := planFor(t, cfg, &stubPolicy{})
+	if plan.Parallelizable() {
+		t.Fatalf("a plan with global metric accumulators claimed to be parallelizable: %v", plan.Couplings)
+	}
+	if !has(plan, "global accumulators") {
+		t.Fatalf("census misses the unconditional accumulator coupling: %v", plan.Couplings)
+	}
+	if has(plan, "estimator layer") || has(plan, "middleware") || has(plan, "fault stream") {
+		t.Fatalf("census lists features this config does not arm: %v", plan.Couplings)
+	}
+
+	cfg = testConfig()
+	cfg.Spec.Estimators = 2
+	_, plan = planFor(t, cfg, &stubPolicy{})
+	if !has(plan, "estimator layer") {
+		t.Fatalf("estimator coupling missing: %v", plan.Couplings)
+	}
+
+	_, plan = planFor(t, testConfig(), &stubPolicy{middleware: true})
+	if !has(plan, "middleware") {
+		t.Fatalf("middleware coupling missing: %v", plan.Couplings)
+	}
+
+	cfg = testConfig()
+	cfg.Faults.UpdateLossProb = 0.1
+	_, plan = planFor(t, cfg, &stubPolicy{})
+	if !has(plan, "fault stream") {
+		t.Fatalf("fault-stream coupling missing: %v", plan.Couplings)
+	}
+
+	cfg = testConfig()
+	cfg.Spec = topology.GridSpec{Clusters: 1, ClusterSize: 20}
+	cfg.Workload.Clusters = 1
+	_, plan = planFor(t, cfg, &stubPolicy{})
+	if !has(plan, "single cluster") {
+		t.Fatalf("single-cluster coupling missing: %v", plan.Couplings)
+	}
+	if plan.Lookahead != 0 {
+		t.Fatalf("single-cluster lookahead = %v, want 0", plan.Lookahead)
+	}
+}
+
+// TestRunParMatchesRunExactly is the engine-level equivalence contract:
+// identical builds must produce identical summaries whatever the worker
+// count, because RunPar degrades to the serial kernel while any
+// coupling is present.
+func TestRunParMatchesRunExactly(t *testing.T) {
+	build := func() *Engine {
+		e, err := New(testConfig(), &stubPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	serial := build().Run()
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		e := build()
+		if got := e.RunPar(workers); got != serial {
+			t.Fatalf("RunPar(%d) summary diverges from Run:\n got %+v\nwant %+v", workers, got, serial)
+		}
+		if workers > 1 && e.LastPlan == nil {
+			t.Fatalf("RunPar(%d) did not retain its plan", workers)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("RunPar(-1) did not panic")
+			}
+		}()
+		build().RunPar(-1)
+	}()
+}
+
+func TestCrossClusterTagging(t *testing.T) {
+	e, err := New(testConfig(), &stubPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	// The stub policy never transfers or messages, so only estimator
+	// traffic could cross partitions — and there are no estimators.
+	if e.Metrics.CrossClusterMsgs != 0 {
+		t.Fatalf("stub policy run tagged %d cross-cluster messages, want 0", e.Metrics.CrossClusterMsgs)
+	}
+
+	cfg := testConfig()
+	cfg.Spec.Estimators = 2
+	e, err = New(cfg, &stubPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if e.Metrics.CrossClusterMsgs == 0 {
+		t.Fatalf("estimator-layer run tagged no cross-cluster messages")
+	}
+	if e.Metrics.CrossClusterMsgs > e.Metrics.UpdatesSent+e.Metrics.DigestsSent {
+		t.Fatalf("CrossClusterMsgs %d exceeds update+digest volume %d",
+			e.Metrics.CrossClusterMsgs, e.Metrics.UpdatesSent+e.Metrics.DigestsSent)
+	}
+}

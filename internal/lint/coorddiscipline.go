@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+
+	"rmscale/internal/lint/analysis"
+)
+
+// CoordDiscipline polices the packages that sit between the
+// single-threaded kernel and the fully concurrent service layer: the
+// parallel-execution coordinators (internal/sim/par). Kernel packages
+// ban concurrency outright (nokernelgoroutines); coordinator packages
+// are allowed exactly the audited concurrency sites and nothing else.
+// A function whose doc comment carries a
+//
+//	//lint:coordinator <reason>
+//
+// directive is such a site — the reason must state the barrier
+// argument that keeps the concurrency invisible to simulation results.
+// Everywhere else in a coordinator package, go statements, channels,
+// selects and sync/sync-atomic imports are flagged exactly as in the
+// kernel, so ad-hoc goroutines can't creep in beside the sanctioned
+// coordinator.
+func CoordDiscipline() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "coorddiscipline",
+		Doc:  "restrict concurrency in coordinator packages to functions marked //lint:coordinator",
+	}
+	a.Run = func(p *analysis.Pass) error {
+		for _, f := range p.Files {
+			marked := coordinatorFuncs(f)
+			if len(marked) == 0 {
+				for _, imp := range f.Imports {
+					path, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if path == "sync" || path == "sync/atomic" {
+						p.Reportf(imp.Pos(),
+							"coordinator package file imports %q but marks no //lint:coordinator function; concurrency here must live in an audited coordinator", path)
+					}
+				}
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if marked[fd] {
+					continue
+				}
+				where := " outside a //lint:coordinator function; the audited coordinator owns all concurrency in this package"
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.GoStmt:
+						p.Reportf(n.Pos(), "go statement%s", where)
+					case *ast.SelectStmt:
+						p.Reportf(n.Pos(), "select statement%s", where)
+					case *ast.SendStmt:
+						p.Reportf(n.Pos(), "channel send%s", where)
+					case *ast.ChanType:
+						p.Reportf(n.Pos(), "channel type%s", where)
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// coordinatorFuncs collects the file's //lint:coordinator-marked
+// function declarations. Like hotpath, the mark is read off the doc
+// comment; the mandatory reason is enforced by parseDirectives on the
+// production path.
+func coordinatorFuncs(f *ast.File) map[*ast.FuncDecl]bool {
+	out := map[*ast.FuncDecl]bool{}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			if verb, _, _ := cutDirective(c.Text); verb == "coordinator" {
+				out[fd] = true
+			}
+		}
+	}
+	return out
+}

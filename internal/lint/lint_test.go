@@ -28,6 +28,10 @@ func TestNoKernelGoroutines(t *testing.T) {
 	linttest.Run(t, "testdata", lint.NoKernelGoroutines(), "nokernelgoroutines")
 }
 
+func TestCoordDiscipline(t *testing.T) {
+	linttest.Run(t, "testdata", lint.CoordDiscipline(), "coorddiscipline")
+}
+
 func TestRMSExhaustive(t *testing.T) {
 	a := lint.RMSExhaustive(lint.EnumSpec{
 		PkgPath:  "modelenum",
@@ -74,6 +78,9 @@ func f() {
 
 //lint:hotpath
 func g() {}
+
+//lint:coordinator
+func h() {}
 `
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
@@ -82,12 +89,13 @@ func g() {}
 	}
 	known := lint.KnownAnalyzers(lint.DefaultConfig)
 	out := lint.ApplyDirectives(fset, []*ast.File{f}, known, nil)
-	if len(out) != 4 {
-		t.Fatalf("got %d directive diagnostics, want 4: %+v", len(out), out)
+	if len(out) != 5 {
+		t.Fatalf("got %d directive diagnostics, want 5: %+v", len(out), out)
 	}
 	for _, want := range []string{
 		"needs a reason", "unknown analyzer bogusanalyzer",
 		"unknown //lint: directive frobnicate", "directive for hotpath needs a reason",
+		"directive for coordinator needs a reason",
 	} {
 		found := false
 		for _, d := range out {

@@ -1,0 +1,32 @@
+// Package coorddiscipline seeds coordinator-package violations for the
+// analyzer's analysistest case. Never built by the module.
+package coorddiscipline
+
+import "sync"
+
+// runWindow is the sanctioned concurrency site: everything inside is
+// legal, including goroutines and the WaitGroup barrier.
+//
+//lint:coordinator workers rejoin before any cross-shard state moves
+func runWindow(shards []func()) {
+	var wg sync.WaitGroup
+	for _, s := range shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s()
+		}()
+	}
+	wg.Wait()
+}
+
+// sneaky is an unmarked function in the same file: its concurrency is
+// exactly the ad-hoc kind the discipline exists to stop.
+func sneaky(fn func()) {
+	go fn() // want "go statement outside a //lint:coordinator function"
+	ch := make(chan int) // want "channel type outside a //lint:coordinator function"
+	ch <- 1              // want "channel send outside a //lint:coordinator function"
+	select {             // want "select statement outside a //lint:coordinator function"
+	default:
+	}
+}

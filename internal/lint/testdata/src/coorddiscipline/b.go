@@ -1,0 +1,9 @@
+package coorddiscipline
+
+import "sync" // want "coordinator package file imports \"sync\" but marks no //lint:coordinator function"
+
+// lockHolder lives in a file with no marked coordinator: the import
+// itself is the finding, before any primitive is even used.
+type lockHolder struct {
+	mu sync.Mutex
+}

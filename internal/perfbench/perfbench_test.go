@@ -39,6 +39,24 @@ func TestCompareMaxGate(t *testing.T) {
 	}
 }
 
+func TestCompareMinGate(t *testing.T) {
+	base := report(Metric{Name: "sim/par/speedup_4w", Value: 1.5, Unit: "x", Gate: GateMin})
+	within := report(Metric{Name: "sim/par/speedup_4w", Value: 1.36, Unit: "x", Gate: GateMin})
+	if bad := Compare(base, within, 0.1); len(bad) != 0 {
+		t.Fatalf("within-tolerance value flagged: %v", bad)
+	}
+	// Improvement never fails the gate.
+	better := report(Metric{Name: "sim/par/speedup_4w", Value: 3.9, Unit: "x", Gate: GateMin})
+	if bad := Compare(base, better, 0.1); len(bad) != 0 {
+		t.Fatalf("improvement flagged: %v", bad)
+	}
+	worse := report(Metric{Name: "sim/par/speedup_4w", Value: 1.2, Unit: "x", Gate: GateMin})
+	bad := Compare(base, worse, 0.1)
+	if len(bad) != 1 || !strings.Contains(bad[0], "falls below") {
+		t.Fatalf("speedup regression not flagged: %v", bad)
+	}
+}
+
 func TestCompareIgnoresTimeMetrics(t *testing.T) {
 	base := report(Metric{Name: "kernel/steady/ns_per_event", Value: 100, Unit: "ns", Gate: GateNone})
 	cur := report(Metric{Name: "kernel/steady/ns_per_event", Value: 10000, Unit: "ns", Gate: GateNone})
@@ -98,6 +116,9 @@ func TestHarnessSmoke(t *testing.T) {
 		"service/loadgen/executions",
 		"service/loadgen/dedup_hits",
 		"service/dedup_hit/allocs",
+		"sim/par/events",
+		"sim/par/fingerprint48",
+		"sim/par/speedup_4w",
 	}
 	have := make(map[string]bool, len(rep.Metrics))
 	for _, m := range rep.Metrics {

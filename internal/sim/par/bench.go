@@ -1,0 +1,185 @@
+// This file is the package's built-in workload: a synthetic
+// multi-cluster grid model shaped like the engine's event mix (dense
+// local status updates, periodic cross-cluster volunteering over link
+// latency), expressed directly against the partitioned API. It is what
+// the perfbench sim/par/* metrics run — the large-topology speedup
+// qualification — and what the equivalence and stress tests drive at
+// different worker counts.
+
+package par
+
+import (
+	"rmscale/internal/sim"
+)
+
+// BenchSpec sizes the synthetic multi-cluster model. Every field is
+// deterministic input: two runs of the same spec produce byte-identical
+// BenchResults at any worker count.
+type BenchSpec struct {
+	// Clusters is the shard count; Resources the entities per shard.
+	Clusters  int
+	Resources int
+	// Update is the local status-update period per resource; Volunteer
+	// the cross-cluster message period per cluster.
+	Update    sim.Time
+	Volunteer sim.Time
+	// Latency is the inter-cluster link latency — the executor's
+	// lookahead, exactly as the grid derives it from its topology.
+	Latency sim.Time
+	// Work is the synthetic per-event computation (state-mixing
+	// rounds); it stands in for the scheduling policy work a real
+	// engine event performs.
+	Work int
+	// Horizon bounds the run.
+	Horizon sim.Time
+	// Seed perturbs per-shard state deterministically.
+	Seed uint64
+}
+
+// LargeTopology is the speedup-qualification workload: a topology well
+// beyond the paper's laptop-scale cases, sized so one serial run takes
+// on the order of a second and each lookahead window carries hundreds
+// of events per shard — the regime where conservative windows pay.
+func LargeTopology() BenchSpec {
+	return BenchSpec{
+		Clusters:  16,
+		Resources: 64,
+		Update:    1,
+		Volunteer: 8,
+		Latency:   4,
+		Work:      800,
+		Horizon:   220,
+		Seed:      1,
+	}
+}
+
+// BenchResult condenses one run into exactly comparable values: the
+// equivalence suite asserts results are identical across worker
+// counts, and perfbench exact-gates the deterministic fields.
+type BenchResult struct {
+	Events      uint64 // kernel events executed
+	Cross       int    // cross-shard messages delivered
+	Windows     int    // barrier rounds
+	Fingerprint uint64 // order-sensitive digest of every shard's event stream
+}
+
+// benchShard is the per-shard model state. peers is the read-only
+// shard roster used to address cross-cluster sends; every mutable
+// field belongs to this shard alone and is only touched by its own
+// events.
+type benchShard struct {
+	rng   uint64
+	loads []float64
+	hash  uint64
+	s     *Shard
+	spec  BenchSpec
+	peers []*benchShard
+
+	// updFns and volFn are the pre-built reschedule closures: one per
+	// resource plus one volunteer loop, reused on every period so the
+	// steady state allocates nothing per local event (the same
+	// discipline the kernel free-list enforces for Event structs).
+	updFns []func()
+	volFn  func()
+}
+
+// mix is a splitmix64 step: the model's deterministic per-shard RNG
+// and digest primitive in one.
+func mix(h uint64) uint64 {
+	h += 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	return h ^ h>>31
+}
+
+// note folds an event tag into the shard's order-sensitive digest: any
+// reordering of one shard's event stream changes the fingerprint.
+func (b *benchShard) note(tag uint64) {
+	b.hash = mix(b.hash ^ tag)
+}
+
+// work burns the configured synthetic computation, data-dependent so
+// it cannot be optimized away.
+func (b *benchShard) work(salt uint64) {
+	h := b.hash ^ salt
+	for i := 0; i < b.spec.Work; i++ {
+		h = mix(h)
+	}
+	b.note(h)
+}
+
+// update is one resource's periodic status update: local work plus a
+// deterministic jitter on the next period.
+func (b *benchShard) update(r int) {
+	b.rng = mix(b.rng)
+	b.loads[r] = float64(b.rng%1000) / 1000
+	b.work(uint64(r))
+	jitter := sim.Time(b.rng%128) * b.spec.Update / 1024
+	b.s.K.After(b.spec.Update+jitter, b.updFns[r])
+}
+
+// volunteer sends one cross-cluster message to a deterministic peer,
+// arriving one link latency later — the lookahead bound exactly. The
+// delivery closure runs on the destination shard's kernel during the
+// destination's window, so it touches only destination state.
+func (b *benchShard) volunteer() {
+	b.rng = mix(b.rng)
+	peer := (b.s.ID() + 1 + int(b.rng%uint64(b.spec.Clusters-1))) % b.spec.Clusters
+	payload := b.rng
+	dst := b.peers[peer]
+	b.s.Send(peer, b.s.K.Now()+b.spec.Latency, func() {
+		dst.receive(payload)
+	})
+	b.s.K.After(b.spec.Volunteer, b.volFn)
+}
+
+// receive folds a volunteer payload into the receiving shard's state.
+func (b *benchShard) receive(payload uint64) {
+	b.work(payload)
+}
+
+// RunBench executes the spec on a fresh executor with the given worker
+// count and returns the deterministic result.
+func RunBench(spec BenchSpec, workers int) BenchResult {
+	if spec.Clusters < 2 {
+		panic("par: bench spec needs at least 2 clusters")
+	}
+	x := New(spec.Clusters, spec.Latency, workers)
+	states := make([]*benchShard, spec.Clusters)
+	for i := range states {
+		b := &benchShard{
+			rng:   mix(spec.Seed ^ uint64(i)*0x9e3779b97f4a7c15),
+			loads: make([]float64, spec.Resources),
+			hash:  mix(uint64(i) + spec.Seed),
+			s:     x.Shard(i),
+			spec:  spec,
+			peers: states,
+		}
+		states[i] = b
+		b.updFns = make([]func(), spec.Resources)
+		b.volFn = b.volunteer
+		for r := 0; r < spec.Resources; r++ {
+			r := r
+			b.updFns[r] = func() { b.update(r) }
+			offset := sim.Time(mix(b.rng+uint64(r))%1024) * spec.Update / 1024
+			b.s.K.Schedule(offset, b.updFns[r])
+		}
+		offset := sim.Time(mix(b.rng)%1024) * spec.Volunteer / 1024
+		b.s.K.Schedule(offset, b.volFn)
+	}
+	events := x.Run(spec.Horizon)
+
+	res := BenchResult{
+		Events:  events,
+		Cross:   x.Stats().Delivered,
+		Windows: x.Stats().Windows,
+	}
+	var fp uint64
+	for _, b := range states {
+		fp = mix(fp ^ b.hash)
+	}
+	res.Fingerprint = fp
+	return res
+}

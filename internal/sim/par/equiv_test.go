@@ -1,0 +1,193 @@
+// The differential equivalence suite: the tentpole's acceptance
+// contract is that in-run parallelism changes nothing observable, and
+// this file pins that from four angles — the par-native bench model
+// across worker counts, every RMS model's engine summary and audit
+// fingerprint across fault modes, the chaos corpus' replay reports,
+// and a full experiment case's golden CSV figures.
+
+package par_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rmscale"
+	"rmscale/internal/audit"
+	"rmscale/internal/audit/chaos"
+	"rmscale/internal/grid"
+	"rmscale/internal/rms"
+	"rmscale/internal/sim/par"
+	"rmscale/internal/topology"
+)
+
+var workerCounts = []int{2, 4, 8}
+
+// TestBenchEquivalenceAcrossWorkers pins the conservative executor
+// itself: the partitioned bench model's result — event count, message
+// count, window count and the order-sensitive digest of every shard's
+// event stream — is byte-identical at every worker count.
+func TestBenchEquivalenceAcrossWorkers(t *testing.T) {
+	specs := []par.BenchSpec{
+		{Clusters: 2, Resources: 3, Update: 1, Volunteer: 5, Latency: 2, Work: 4, Horizon: 60, Seed: 7},
+		{Clusters: 5, Resources: 8, Update: 2, Volunteer: 3, Latency: 1, Work: 8, Horizon: 90, Seed: 3},
+	}
+	if !testing.Short() {
+		spec := par.LargeTopology()
+		spec.Horizon = 40 // full shape, reduced horizon: this is a correctness pin, not the timing bench
+		specs = append(specs, spec)
+	}
+	for si, spec := range specs {
+		serial := par.RunBench(spec, 1)
+		if serial.Events == 0 || serial.Cross == 0 {
+			t.Fatalf("spec %d: degenerate serial run %+v", si, serial)
+		}
+		for _, w := range workerCounts {
+			if got := par.RunBench(spec, w); got != serial {
+				t.Errorf("spec %d: %d workers diverged:\n got %+v\nwant %+v", si, w, got, serial)
+			}
+		}
+	}
+}
+
+// modelConfig is a small four-cluster grid with every model-visible
+// feature armed (estimator layer included) at roughly the calibrated
+// utilization, sized so the whole model × fault-mode × worker-count
+// matrix stays in test-suite budget.
+func modelConfig(faulted bool) grid.Config {
+	cfg := grid.DefaultConfig()
+	cfg.Spec = topology.GridSpec{Clusters: 4, ClusterSize: 5, Estimators: 2}
+	cfg.Workload.Clusters = 4
+	cfg.Workload.ArrivalRate = 0.9 * 20 / 524.2
+	cfg.Workload.Horizon = 1000
+	cfg.Horizon = 1000
+	cfg.Drain = 1200
+	if faulted {
+		cfg.Faults = rmscale.ChurnFaults()
+		cfg.Faults.ResourceMTBF = 1500
+		cfg.Faults.RepairTime = 150
+		cfg.Faults.UpdateLossProb = 0.02
+	}
+	return cfg
+}
+
+// runModel builds a fresh audited engine for the model and returns its
+// summary and audit fingerprint after RunPar(workers).
+func runModel(t *testing.T, name string, faulted bool, workers int) (grid.Summary, string) {
+	t.Helper()
+	p, err := rms.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := grid.New(modelConfig(faulted), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted {
+		if err := e.ArmFaults(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := audit.Attach(e, audit.Config{Mode: audit.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := e.RunPar(workers)
+	if err := a.Err(); err != nil {
+		t.Fatalf("%s (faulted=%v, workers=%d): audit: %v", name, faulted, workers, err)
+	}
+	return sum, a.Fingerprint()
+}
+
+// TestEngineEquivalenceAllModels runs every RMS model fault-free and
+// under the churn fault load, serially and at 2/4/8 workers, and
+// requires byte-identical summaries and audit fingerprints.
+func TestEngineEquivalenceAllModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full model × fault × workers matrix is slow")
+	}
+	for _, name := range rms.Names() {
+		for _, faulted := range []bool{false, true} {
+			mode := "fault-free"
+			if faulted {
+				mode = "churn"
+			}
+			t.Run(fmt.Sprintf("%s/%s", name, mode), func(t *testing.T) {
+				wantSum, wantFP := runModel(t, name, faulted, 1)
+				for _, w := range workerCounts {
+					gotSum, gotFP := runModel(t, name, faulted, w)
+					if gotSum != wantSum {
+						t.Fatalf("workers=%d summary diverged:\n got %+v\nwant %+v", w, gotSum, wantSum)
+					}
+					if gotFP != wantFP {
+						t.Fatalf("workers=%d audit fingerprint %s, want %s", w, gotFP, wantFP)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosCorpusEquivalence replays one generated chaos schedule per
+// RMS model (the generator covers models round-robin) at every worker
+// count and requires the full report — summary, violation list, check
+// count and fingerprint — to be identical to the serial replay.
+func TestChaosCorpusEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos corpus replay matrix is slow")
+	}
+	for i := range rms.Names() {
+		s := chaos.Generate(1, i)
+		t.Run(s.Name+"/"+s.Model, func(t *testing.T) {
+			want, err := chaos.Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCounts {
+				got, err := chaos.RunWorkers(s, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Summary != want.Summary {
+					t.Fatalf("workers=%d chaos summary diverged:\n got %+v\nwant %+v", w, got.Summary, want.Summary)
+				}
+				if got.Fingerprint != want.Fingerprint || got.Checks != want.Checks ||
+					fmt.Sprint(got.Violations) != fmt.Sprint(want.Violations) {
+					t.Fatalf("workers=%d chaos report diverged:\n got %+v\nwant %+v", w, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenCSVEquivalence renders a full smoke experiment case to its
+// CSV figure twice — serial and with -par-workers 4 — and requires the
+// bytes to be identical. This is the end-to-end leg: workload
+// generation, tuning, journaling and figure rendering all sit between
+// RunPar and the output.
+func TestGoldenCSVEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full case run is slow")
+	}
+	render := func(parWorkers int) []byte {
+		t.Helper()
+		r, err := rmscale.RunCaseSpec(1, rmscale.RunSpec{
+			Fidelity:   rmscale.Smoke,
+			Seed:       1,
+			ParWorkers: parWorkers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := r.Figure().WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(0)
+	parallel := render(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("golden CSV diverged between serial and -par-workers 4:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}

@@ -1,0 +1,342 @@
+// FuzzWindowMerge drives the window partitioner differentially: the
+// same randomized multi-shard model runs on the real executor (heap
+// FELs, free lists, worker pool) and on refExec, a deliberately naive
+// reimplementation of the conservative-window semantics built from
+// sorted slices and a single loop. Any divergence in any shard's event
+// stream — order, timing or payload — fails. The fuzz input chooses
+// the shard count, lookahead, worker count and the whole event mix.
+
+package par_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"rmscale/internal/sim"
+	"rmscale/internal/sim/par"
+)
+
+// host abstracts the two executors so one model runs on both.
+type host interface {
+	// local schedules fn on shard s at absolute time at.
+	local(s int, at sim.Time, fn func())
+	// send delivers fn to shard dst at absolute time at (>= now+lookahead).
+	send(src, dst int, at sim.Time, fn func())
+	// now is shard s's clock.
+	now(s int) sim.Time
+}
+
+type traceEntry struct {
+	At  sim.Time
+	Tag uint64
+}
+
+// model is the randomized workload: per-shard rng-driven events that
+// note themselves into a trace and spawn local and cross-shard
+// successors until the shard's budget runs out. All state is per
+// shard, so the model is legal on concurrent windows.
+type model struct {
+	h      host
+	n      int
+	la     sim.Time
+	rng    []uint64
+	budget []int
+	trace  [][]traceEntry
+	global []traceEntry // appended only when the host is single-threaded
+}
+
+func fuzzMix(h uint64) uint64 {
+	h += 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	return h ^ h>>31
+}
+
+func newModel(h host, n int, la sim.Time, seed uint64, budget int, trackGlobal bool) *model {
+	m := &model{h: h, n: n, la: la}
+	m.rng = make([]uint64, n)
+	m.budget = make([]int, n)
+	m.trace = make([][]traceEntry, n)
+	if !trackGlobal {
+		m.global = nil
+	}
+	for s := 0; s < n; s++ {
+		m.rng[s] = fuzzMix(seed ^ uint64(s)*0x517cc1b727220a95)
+		m.budget[s] = budget
+	}
+	return m
+}
+
+// fire is one model event on shard s.
+func (m *model) fire(s int, tag uint64) {
+	at := m.h.now(s)
+	m.trace[s] = append(m.trace[s], traceEntry{At: at, Tag: tag})
+	if m.global != nil {
+		m.global = append(m.global, traceEntry{At: at, Tag: tag ^ uint64(s)<<56})
+	}
+	m.rng[s] = fuzzMix(m.rng[s] ^ tag)
+	r := m.rng[s]
+	if m.budget[s] <= 0 {
+		return
+	}
+	m.budget[s]--
+	if m.n > 1 && r%4 == 0 {
+		dst := (s + 1 + int((r>>8)%uint64(m.n-1))) % m.n
+		at := m.h.now(s) + m.la + sim.Time((r>>16)%8)/2
+		tag2 := fuzzMix(r)
+		m.h.send(s, dst, at, func() { m.fire(dst, tag2) })
+		return
+	}
+	at2 := m.h.now(s) + sim.Time((r>>16)%8)/2
+	tag2 := fuzzMix(r ^ 0xabcd)
+	m.h.local(s, at2, func() { m.fire(s, tag2) })
+	if r%3 == 0 {
+		at3 := m.h.now(s) + 1 + sim.Time((r>>24)%4)
+		tag3 := fuzzMix(r ^ 0x1234)
+		m.h.local(s, at3, func() { m.fire(s, tag3) })
+	}
+}
+
+func (m *model) seedEvents() {
+	for s := 0; s < m.n; s++ {
+		s := s
+		tag := fuzzMix(m.rng[s] ^ 0xfeed)
+		m.h.local(s, sim.Time(m.rng[s]%8)/2, func() { m.fire(s, tag) })
+	}
+}
+
+// parHost adapts the real executor to the host interface.
+type parHost struct{ x *par.Executor }
+
+func (p parHost) local(s int, at sim.Time, fn func()) { p.x.Shard(s).K.Schedule(at, fn) }
+func (p parHost) send(src, dst int, at sim.Time, fn func()) {
+	p.x.Shard(src).Send(dst, at, fn)
+}
+func (p parHost) now(s int) sim.Time { return p.x.Shard(s).K.Now() }
+
+// refExec is the naive reference: per-shard event lists kept sorted by
+// (time, arrival sequence), a global in-flight message list, and the
+// conservative window loop written in the most obvious way possible.
+// It shares no code with package par or the sim kernel.
+type refExec struct {
+	la      sim.Time
+	shards  []refShard
+	pending []refMsg
+}
+
+type refShard struct {
+	clock   sim.Time
+	seq     uint64
+	sendSeq uint64
+	ev      []refEvent
+}
+
+type refEvent struct {
+	at  sim.Time
+	seq uint64
+	fn  func()
+}
+
+type refMsg struct {
+	at       sim.Time
+	src, dst int
+	seq      uint64
+	fn       func()
+}
+
+func newRefExec(n int, la sim.Time) *refExec {
+	return &refExec{la: la, shards: make([]refShard, n)}
+}
+
+func (r *refExec) local(s int, at sim.Time, fn func()) {
+	sh := &r.shards[s]
+	sh.ev = append(sh.ev, refEvent{at: at, seq: sh.seq, fn: fn})
+	sh.seq++
+}
+
+func (r *refExec) send(src, dst int, at sim.Time, fn func()) {
+	if src == dst {
+		r.local(src, at, fn)
+		return
+	}
+	sh := &r.shards[src]
+	r.pending = append(r.pending, refMsg{at: at, src: src, dst: dst, seq: sh.sendSeq, fn: fn})
+	sh.sendSeq++
+}
+
+func (r *refExec) now(s int) sim.Time { return r.shards[s].clock }
+
+// nextTime is the earliest pending work anywhere.
+func (r *refExec) nextTime() (sim.Time, bool) {
+	var t sim.Time
+	ok := false
+	for i := range r.shards {
+		for _, e := range r.shards[i].ev {
+			if !ok || e.at < t {
+				t, ok = e.at, true
+			}
+		}
+	}
+	for _, m := range r.pending {
+		if !ok || m.at < t {
+			t, ok = m.at, true
+		}
+	}
+	return t, ok
+}
+
+func (r *refExec) runTo(until sim.Time) {
+	for {
+		next, ok := r.nextTime()
+		if !ok || next > until {
+			break
+		}
+		wEnd := next + r.la
+		strict := true
+		if wEnd > until {
+			wEnd, strict = until, false
+		}
+		// Barrier: deliver due messages in (time, src, seq) order.
+		var due, keep []refMsg
+		for _, m := range r.pending {
+			if m.at < wEnd || (!strict && m.at == wEnd) {
+				due = append(due, m)
+			} else {
+				keep = append(keep, m)
+			}
+		}
+		r.pending = keep
+		sort.SliceStable(due, func(i, j int) bool {
+			a, b := due[i], due[j]
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			return a.seq < b.seq
+		})
+		for _, m := range due {
+			r.local(m.dst, m.at, m.fn)
+		}
+		// Window: each shard drains its own list up to the bound, in
+		// (time, seq) order, shard by shard.
+		for s := range r.shards {
+			r.runShard(s, wEnd, strict)
+		}
+	}
+	for s := range r.shards {
+		if r.shards[s].clock < until {
+			r.shards[s].clock = until
+		}
+	}
+}
+
+func (r *refExec) runShard(s int, limit sim.Time, strict bool) {
+	sh := &r.shards[s]
+	for {
+		best := -1
+		for i, e := range sh.ev {
+			if e.at > limit || (strict && e.at == limit) {
+				continue
+			}
+			if best < 0 || e.at < sh.ev[best].at ||
+				(e.at == sh.ev[best].at && e.seq < sh.ev[best].seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		e := sh.ev[best]
+		sh.ev = append(sh.ev[:best], sh.ev[best+1:]...)
+		sh.clock = e.at
+		e.fn()
+	}
+}
+
+const fuzzHorizon sim.Time = 400
+
+// runWindowMerge executes one fuzz scenario on both implementations and
+// reports any divergence.
+func runWindowMerge(t *testing.T, data []byte) {
+	t.Helper()
+	if len(data) < 4 {
+		return
+	}
+	n := 2 + int(data[0]%7)
+	la := sim.Time(1+data[1]%8) / 2
+	workers := 1 + int(data[2]%9)
+	seed := uint64(data[3]) | uint64(len(data))<<8
+	for i, b := range data {
+		seed = fuzzMix(seed ^ uint64(b)<<(8*uint(i%8)))
+	}
+	const budget = 64
+
+	ref := newRefExec(n, la)
+	refM := newModel(ref, n, la, seed, budget, true)
+	refM.global = []traceEntry{}
+	refM.seedEvents()
+	ref.runTo(fuzzHorizon)
+
+	// Real executor, serial mode: the global merged order is observable
+	// and must equal the reference's.
+	xs := par.New(n, la, 1)
+	serialM := newModel(parHost{xs}, n, la, seed, budget, true)
+	serialM.global = []traceEntry{}
+	serialM.seedEvents()
+	xs.Run(fuzzHorizon)
+
+	// Real executor, fuzzed worker count: per-shard streams only (the
+	// global interleaving is intentionally unobservable when windows
+	// run concurrently).
+	xp := par.New(n, la, workers)
+	parM := newModel(parHost{xp}, n, la, seed, budget, false)
+	parM.seedEvents()
+	xp.Run(fuzzHorizon)
+
+	if got, want := fmt.Sprint(serialM.global), fmt.Sprint(refM.global); got != want {
+		t.Fatalf("n=%d la=%v: merged event order diverged from the reference\n got %s\nwant %s", n, la, got, want)
+	}
+	for s := 0; s < n; s++ {
+		if got, want := fmt.Sprint(serialM.trace[s]), fmt.Sprint(refM.trace[s]); got != want {
+			t.Fatalf("n=%d la=%v shard %d: serial executor diverged from reference\n got %s\nwant %s", n, la, s, got, want)
+		}
+		if got, want := fmt.Sprint(parM.trace[s]), fmt.Sprint(refM.trace[s]); got != want {
+			t.Fatalf("n=%d la=%v workers=%d shard %d: parallel executor diverged\n got %s\nwant %s", n, la, workers, s, got, want)
+		}
+	}
+}
+
+func FuzzWindowMerge(f *testing.F) {
+	f.Add([]byte{2, 3, 1, 9})
+	f.Add([]byte{7, 0, 3, 200, 14, 99, 3, 18, 11})
+	f.Add([]byte{3, 7, 7, 42, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{8, 1, 8, 250, 0, 0, 0, 0, 128, 64, 32})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		runWindowMerge(t, data)
+	})
+}
+
+// TestWindowMergeCorpus replays the seed corpus deterministically even
+// when the suite runs without fuzzing.
+func TestWindowMergeCorpus(t *testing.T) {
+	corpus := [][]byte{
+		{2, 3, 1, 9},
+		{7, 0, 3, 200, 14, 99, 3, 18, 11},
+		{3, 7, 7, 42, 1, 2, 3, 4, 5, 6, 7, 8},
+		{8, 1, 8, 250, 0, 0, 0, 0, 128, 64, 32},
+		{5, 2, 4, 77, 200, 100, 50, 25},
+	}
+	for i, data := range corpus {
+		i := i
+		data := data
+		t.Run(fmt.Sprint(i), func(t *testing.T) { runWindowMerge(t, data) })
+	}
+}

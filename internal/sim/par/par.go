@@ -1,0 +1,273 @@
+// Package par executes a partitioned discrete-event simulation on a
+// bounded worker pool, conservatively: partitions (shards) only
+// interact through timestamped messages that are delayed by at least
+// the executor's lookahead, so every event window of lookahead length
+// is free of cross-shard causality and its shards can run
+// concurrently.
+//
+// The algorithm is the classic conservative time-window scheme (the
+// decomposition GridSim and Parsec-style simulators use): each round
+// the coordinator computes the earliest pending work across all shards
+// and in-flight messages, opens the window [next, next+lookahead),
+// delivers every due message in canonical (time, source, sequence)
+// order, and lets the worker pool drain each shard's kernel up to the
+// window bound. A message sent at time t arrives no earlier than
+// t+lookahead, which is at or beyond the window bound — so nothing a
+// shard does inside a window can affect another shard inside the same
+// window.
+//
+// Determinism is by construction, not by luck: shards share no state
+// inside a window, each shard's kernel is the deterministic serial
+// kernel of package sim, and everything order-sensitive — window
+// bounds, message delivery, outbox collection — happens single-
+// threaded at the barrier in an order derived only from simulated
+// time, shard IDs and per-shard sequence numbers. The worker count
+// never enters any of those decisions, so results are byte-identical
+// across 1, 2, 4 or 64 workers; equiv_test.go and FuzzWindowMerge pin
+// this against an independent serial reference.
+package par
+
+import (
+	"fmt"
+	"sort"
+
+	"rmscale/internal/sim"
+)
+
+// message is one cross-shard event in flight: a callback to run on the
+// destination shard's kernel at an absolute simulated time. src and
+// seq identify the send uniquely and deterministically, which is what
+// makes the barrier's delivery order canonical.
+type message struct {
+	at       sim.Time
+	src, dst int
+	seq      uint64
+	fn       func()
+}
+
+// Shard is one partition of the model: a private serial kernel plus an
+// outbox of cross-shard sends. All model state a shard's events touch
+// must belong to that shard alone — the executor enforces the timing
+// side of that contract (no sub-lookahead sends) and the race detector
+// enforces the memory side in tests.
+type Shard struct {
+	id      int
+	K       *sim.Kernel
+	x       *Executor
+	sendSeq uint64
+	outbox  []message
+}
+
+// ID returns the shard's index within its executor.
+func (s *Shard) ID() int { return s.id }
+
+// Send schedules fn on shard dst at absolute simulated time at. A send
+// to the shard itself is an ordinary local schedule. A cross-shard
+// send must be delayed by at least the executor's lookahead — that
+// delay is the entire safety argument of the window scheme, so an
+// earlier timestamp panics rather than silently corrupting the run.
+// Cross-shard sends are buffered in the sending shard's outbox and
+// delivered at the next barrier; the destination kernel is never
+// touched from inside a window.
+func (s *Shard) Send(dst int, at sim.Time, fn func()) {
+	if dst < 0 || dst >= len(s.x.shards) {
+		panic(fmt.Sprintf("par: send to shard %d of %d", dst, len(s.x.shards)))
+	}
+	if fn == nil {
+		panic("par: send nil func")
+	}
+	if dst == s.id {
+		s.K.Schedule(at, fn)
+		return
+	}
+	if min := s.K.Now() + s.x.lookahead; at < min {
+		panic(fmt.Sprintf(
+			"par: unsafe send from shard %d to %d: at %v is before now %v + lookahead %v",
+			s.id, dst, at, s.K.Now(), s.x.lookahead))
+	}
+	s.outbox = append(s.outbox, message{at: at, src: s.id, dst: dst, seq: s.sendSeq, fn: fn})
+	s.sendSeq++
+}
+
+// Stats summarizes one executor run for tests, benches and logs.
+type Stats struct {
+	// Windows counts barrier rounds executed.
+	Windows int
+	// Delivered counts cross-shard messages delivered at barriers.
+	Delivered int
+	// MaxPending is the high-water mark of undelivered cross-shard
+	// messages at any barrier.
+	MaxPending int
+}
+
+// Executor coordinates a fixed set of shards through conservative
+// lookahead windows. Construct with New, populate the shards' kernels,
+// then Run.
+type Executor struct {
+	shards    []*Shard
+	lookahead sim.Time
+	workers   int
+	pending   []message // undelivered cross-shard messages
+	stats     Stats
+}
+
+// New builds an executor with n empty shards. lookahead must be
+// positive: a zero lookahead admits same-time cross-shard causality,
+// which no window can make safe. workers <= 0 falls back to 1 (fully
+// serial execution on the calling goroutine — the reference mode the
+// equivalence suite compares against).
+func New(n int, lookahead sim.Time, workers int) *Executor {
+	if n < 1 {
+		panic(fmt.Sprintf("par: %d shards", n))
+	}
+	if !(lookahead > 0) {
+		panic(fmt.Sprintf("par: lookahead %v must be positive", lookahead))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	x := &Executor{lookahead: lookahead, workers: workers}
+	for i := 0; i < n; i++ {
+		x.shards = append(x.shards, &Shard{id: i, K: sim.NewKernel(), x: x})
+	}
+	return x
+}
+
+// Shards returns the shard count.
+func (x *Executor) Shards() int { return len(x.shards) }
+
+// Shard returns shard i.
+func (x *Executor) Shard(i int) *Shard { return x.shards[i] }
+
+// Lookahead returns the configured lookahead.
+func (x *Executor) Lookahead() sim.Time { return x.lookahead }
+
+// Workers returns the configured worker-pool size.
+func (x *Executor) Workers() int { return x.workers }
+
+// Stats returns the accumulated run statistics.
+func (x *Executor) Stats() Stats { return x.stats }
+
+// Run executes every shard's events with at <= until, window by
+// window, and returns the total number of events executed. Like the
+// serial kernel's Run, it leaves every shard's clock at the horizon so
+// rate-style metrics are computed over the full window. Messages
+// timestamped beyond the horizon stay pending for a later Run call.
+func (x *Executor) Run(until sim.Time) uint64 {
+	var before uint64
+	for _, s := range x.shards {
+		before += s.K.Processed()
+	}
+	for {
+		next, ok := x.nextTime()
+		if !ok || next > until {
+			break
+		}
+		wEnd := next + x.lookahead
+		strict := true
+		if wEnd > until {
+			// Final stretch: the lookahead window covers the whole
+			// remaining horizon, so run inclusively to it — exactly the
+			// bound the serial kernel's Run(until) uses.
+			wEnd = until
+			strict = false
+		}
+		x.deliver(wEnd, strict)
+		x.runWindow(wEnd, strict)
+		for _, s := range x.shards {
+			// Outboxes are collected in shard order: together with the
+			// per-shard sequence numbers this makes the pending set's
+			// canonical delivery order independent of worker scheduling.
+			x.pending = append(x.pending, s.outbox...)
+			s.outbox = s.outbox[:0]
+		}
+		if len(x.pending) > x.stats.MaxPending {
+			x.stats.MaxPending = len(x.pending)
+		}
+		x.stats.Windows++
+	}
+	var total uint64
+	for _, s := range x.shards {
+		if s.K.Now() < until {
+			s.K.AdvanceTo(until)
+		}
+		total += s.K.Processed()
+	}
+	return total - before
+}
+
+// nextTime returns the earliest pending simulated work across every
+// shard's kernel and every undelivered message.
+func (x *Executor) nextTime() (sim.Time, bool) {
+	var next sim.Time
+	ok := false
+	for _, s := range x.shards {
+		if t, live := s.K.NextTime(); live && (!ok || t < next) {
+			next, ok = t, true
+		}
+	}
+	for i := range x.pending {
+		if t := x.pending[i].at; !ok || t < next {
+			next, ok = t, true
+		}
+	}
+	return next, ok
+}
+
+// deliver schedules every pending message due inside the window
+// (at < limit, or at <= limit for the final inclusive window) onto its
+// destination kernel, in canonical (time, source, sequence) order.
+// Delivery happens at the barrier, single-threaded: scheduling
+// consumes destination sequence numbers, so its order must be a pure
+// function of the messages themselves.
+func (x *Executor) deliver(limit sim.Time, strict bool) {
+	due := x.pending[:0:0]
+	keep := x.pending[:0]
+	for _, m := range x.pending {
+		if m.at < limit || (!strict && m.at == limit) {
+			due = append(due, m)
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	x.pending = keep
+	if len(due) == 0 {
+		return
+	}
+	sort.Slice(due, func(i, j int) bool {
+		a, b := due[i], due[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for _, m := range due {
+		x.shards[m.dst].K.Schedule(m.at, m.fn)
+	}
+	x.stats.Delivered += len(due)
+}
+
+// runShardCaught drains one shard's kernel up to the window bound and
+// returns the panic value of a failing model callback (or the kernel's
+// own refusal to progress) instead of unwinding, so the coordinator can
+// report failures identically whether the window ran inline or on a
+// worker goroutine. It touches only the shard's own kernel and outbox.
+func (x *Executor) runShardCaught(s *Shard, limit sim.Time, strict bool) (failure any) {
+	defer func() {
+		if r := recover(); r != nil {
+			failure = r
+		}
+	}()
+	if strict {
+		s.K.RunBefore(limit)
+	} else {
+		s.K.Run(limit)
+	}
+	if err := s.K.Err(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Stress coverage for the worker pool: tiny lookahead windows force a
+// barrier roughly every event, and a worker count far above the host's
+// core count forces constant goroutine churn — the configuration most
+// likely to expose ordering or memory races. These tests are the main
+// subjects of `make race`.
+
+package par_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rmscale/internal/sim"
+	"rmscale/internal/sim/par"
+)
+
+// stressTrace runs a chatty rng-driven model (the fuzz model with a
+// generous budget) at the given worker count and returns the per-shard
+// traces, stringified.
+func stressTrace(n int, la sim.Time, workers int, seed uint64, budget int, horizon sim.Time) []string {
+	x := par.New(n, la, workers)
+	m := newModel(parHost{x}, n, la, seed, budget, false)
+	m.seedEvents()
+	x.Run(horizon)
+	out := make([]string, n)
+	for s := 0; s < n; s++ {
+		out[s] = fmt.Sprint(m.trace[s])
+	}
+	return out
+}
+
+// TestStressSmallWindowsManyWorkers drives 8 shards through windows of
+// half a time unit with 16 workers — more workers than shards, more
+// shards than cores — and requires byte-identical traces against the
+// serial run.
+func TestStressSmallWindowsManyWorkers(t *testing.T) {
+	const (
+		n       = 8
+		la      = sim.Time(0.5)
+		budget  = 400
+		horizon = sim.Time(2000)
+	)
+	for _, seed := range []uint64{1, 99, 0xdecafbad} {
+		want := stressTrace(n, la, 1, seed, budget, horizon)
+		for _, workers := range []int{3, 16} {
+			got := stressTrace(n, la, workers, seed, budget, horizon)
+			for s := range got {
+				if got[s] != want[s] {
+					t.Fatalf("seed %d workers %d shard %d diverged from serial", seed, workers, s)
+				}
+			}
+		}
+	}
+}
+
+// TestStressTickersAcrossShards runs a free-list-heavy model: every
+// shard owns tickers that rearm each period (constant event recycling)
+// and forwards a counter to its neighbor every few ticks. Divergence in
+// the final counters or tick counts across worker counts would mean the
+// barrier visible-state contract broke under handle reuse.
+func TestStressTickersAcrossShards(t *testing.T) {
+	const (
+		n       = 6
+		la      = sim.Time(1)
+		horizon = sim.Time(500)
+	)
+	type result struct {
+		Ticks    []int
+		Received []int
+		Events   uint64
+	}
+	run := func(workers int) result {
+		x := par.New(n, la, workers)
+		r := result{Ticks: make([]int, n), Received: make([]int, n)}
+		for s := 0; s < n; s++ {
+			s := s
+			sh := x.Shard(s)
+			// Two tickers per shard with coprime-ish periods so rearms
+			// interleave and the kernel free list stays busy.
+			for ti, period := range []sim.Time{1.5 + sim.Time(s)/4, 2.25 + sim.Time(s)/8} {
+				ti := ti
+				sim.NewTicker(sh.K, period, func() {
+					r.Ticks[s]++
+					if r.Ticks[s]%5 == ti {
+						dst := (s + 1) % n
+						sh.Send(dst, sh.K.Now()+la, func() { r.Received[dst]++ })
+					}
+				})
+			}
+		}
+		r.Events = x.Run(horizon)
+		return r
+	}
+	want := run(1)
+	if want.Events == 0 {
+		t.Fatal("degenerate serial run")
+	}
+	for _, workers := range []int{2, 16} {
+		got := run(workers)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("workers=%d diverged:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}

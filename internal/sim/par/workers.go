@@ -1,0 +1,70 @@
+// This file is the package's single concurrency site: the audited
+// window barrier. Everything else in package par — and everything in
+// every other simulation-visible package — is held to the
+// deterministic-kernel discipline (no goroutines, no channels, no
+// sync). rmslint's coorddiscipline analyzer enforces that split: the
+// package is a registered coordinator, concurrency constructs are
+// legal only inside functions that carry a //lint:coordinator mark,
+// and every mark must state why the barrier makes them safe.
+
+package par
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rmscale/internal/sim"
+)
+
+// runWindow executes one safe window on every shard. With one worker
+// (or one shard) it runs inline on the calling goroutine, touching no
+// concurrency machinery at all — that is the serial reference mode.
+//
+// In parallel mode, shards are claimed off an atomic counter by a
+// fixed pool of goroutines that all rejoin before this function
+// returns. Which worker runs which shard is scheduler-dependent and
+// deliberately irrelevant: a shard's window touches only that shard's
+// kernel and outbox, and every cross-shard effect is deferred to the
+// single-threaded barrier in (time, source, sequence) order. Panics
+// inside shard callbacks are caught per shard and re-raised by the
+// coordinator for the lowest shard index, so even failure is
+// deterministic.
+//
+//lint:coordinator conservative window barrier: shards share no state inside a window, workers rejoin before any cross-shard delivery, and no ordering decision depends on worker scheduling
+func (x *Executor) runWindow(limit sim.Time, strict bool) {
+	if x.workers == 1 || len(x.shards) == 1 {
+		for i, s := range x.shards {
+			if p := x.runShardCaught(s, limit, strict); p != nil {
+				panic(fmt.Sprintf("par: window [,%v) shard %d: %v", limit, i, p))
+			}
+		}
+		return
+	}
+	workers := x.workers
+	if workers > len(x.shards) {
+		workers = len(x.shards)
+	}
+	var next atomic.Int64
+	panics := make([]any, len(x.shards))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(x.shards) {
+					return
+				}
+				panics[i] = x.runShardCaught(x.shards[i], limit, strict)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("par: window [,%v) shard %d: %v", limit, i, p))
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunBeforeExcludesHorizon(t *testing.T) {
+	k := NewKernel()
+	var got []Time
+	for _, at := range []Time{1, 3, 5, 5.5} {
+		at := at
+		k.Schedule(at, func() { got = append(got, at) })
+	}
+	n := k.RunBefore(5)
+	if n != 2 {
+		t.Fatalf("RunBefore(5) executed %d events, want 2", n)
+	}
+	if !reflect.DeepEqual(got, []Time{1, 3}) {
+		t.Fatalf("RunBefore(5) executed %v, want [1 3]", got)
+	}
+	if k.Now() != 3 {
+		t.Fatalf("clock at %v after RunBefore(5), want 3 (never the horizon)", k.Now())
+	}
+	// The excluded events are intact and run on the next call.
+	if n := k.RunBefore(6); n != 2 {
+		t.Fatalf("second RunBefore(6) executed %d events, want 2", n)
+	}
+	if !reflect.DeepEqual(got, []Time{1, 3, 5, 5.5}) {
+		t.Fatalf("after both windows got %v", got)
+	}
+}
+
+// TestWindowedRunMatchesSerialRun is the kernel-level equivalence
+// property behind the parallel executor: slicing a run into strict
+// windows plus a final inclusive Run executes exactly the events, in
+// exactly the order, of one serial Run.
+func TestWindowedRunMatchesSerialRun(t *testing.T) {
+	prop := func(seed int64, windowsRaw uint8) bool {
+		build := func(k *Kernel, log *[]Time) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				at := Time(rng.Intn(64)) / 2
+				k.Schedule(at, func() { *log = append(*log, at) })
+			}
+		}
+		var serialLog []Time
+		serial := NewKernel()
+		build(serial, &serialLog)
+		nSerial := serial.Run(30)
+
+		var winLog []Time
+		win := NewKernel()
+		build(win, &winLog)
+		var nWin uint64
+		step := Time(1 + windowsRaw%9)
+		var h Time
+		for h = step; h < 30; h += step {
+			nWin += win.RunBefore(h)
+		}
+		nWin += win.Run(30)
+
+		if nSerial != nWin {
+			t.Fatalf("seed %d step %v: serial ran %d events, windowed %d", seed, step, nSerial, nWin)
+		}
+		if !reflect.DeepEqual(serialLog, winLog) {
+			t.Fatalf("seed %d step %v: orders diverge", seed, step)
+		}
+		if serial.Now() != win.Now() {
+			t.Fatalf("seed %d step %v: clocks diverge: %v vs %v", seed, step, serial.Now(), win.Now())
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextTimeReportsEarliestLiveEvent(t *testing.T) {
+	k := NewKernel()
+	if _, ok := k.NextTime(); ok {
+		t.Fatalf("NextTime reported an event on an empty kernel")
+	}
+	e1 := k.Schedule(2, func() {})
+	k.Schedule(5, func() {})
+	if at, ok := k.NextTime(); !ok || at != 2 {
+		t.Fatalf("NextTime = (%v, %v), want (2, true)", at, ok)
+	}
+	// Cancelling the head must make NextTime collect it and report the
+	// next live event, exactly as the dispatch loop would.
+	k.Cancel(e1)
+	if at, ok := k.NextTime(); !ok || at != 5 {
+		t.Fatalf("NextTime after cancel = (%v, %v), want (5, true)", at, ok)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d after head collection, want 1", k.Pending())
+	}
+}
+
+func TestNextTimeIsBehaviourInvisible(t *testing.T) {
+	k := NewKernel()
+	var got []Time
+	for _, at := range []Time{4, 1, 3} {
+		at := at
+		k.Schedule(at, func() { got = append(got, at) })
+	}
+	k.NextTime()
+	k.Run(10)
+	if !reflect.DeepEqual(got, []Time{1, 3, 4}) {
+		t.Fatalf("order after NextTime peek: %v", got)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	k := NewKernel()
+	k.AdvanceTo(7)
+	if k.Now() != 7 {
+		t.Fatalf("Now = %v after AdvanceTo(7)", k.Now())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("AdvanceTo backwards did not panic")
+			}
+		}()
+		k.AdvanceTo(6)
+	}()
+	k.Schedule(10, func() {})
+	// Advancing exactly to a pending event's time is legal; past it is not.
+	k.AdvanceTo(10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("AdvanceTo past a pending event did not panic")
+			}
+		}()
+		k.AdvanceTo(11)
+	}()
+}
+
+func TestAdvanceToIgnoresCancelledEvents(t *testing.T) {
+	k := NewKernel()
+	e := k.Schedule(3, func() {})
+	k.Cancel(e)
+	k.AdvanceTo(8)
+	if k.Now() != 8 {
+		t.Fatalf("Now = %v, want 8", k.Now())
+	}
+}
